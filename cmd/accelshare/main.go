@@ -1,0 +1,57 @@
+// Command accelshare regenerates every table and figure of the paper's
+// evaluation (and the ablations documented in DESIGN.md) from this
+// repository's implementation. Run `accelshare all` to reproduce the whole
+// evaluation, or an individual experiment by name.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+var commands []command
+
+func register(name, brief string, run func(args []string) error) {
+	commands = append(commands, command{name: name, brief: brief, run: run})
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: accelshare <command> [flags]")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	sorted := append([]command(nil), commands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, c := range sorted {
+		fmt.Fprintf(os.Stderr, "  %-20s %s\n", c.name, c.brief)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "help" || name == "-h" || name == "--help" {
+		usage()
+		return
+	}
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "accelshare %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "accelshare: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}

@@ -1,0 +1,96 @@
+package main
+
+// Smoke tests: every experiment command must run to completion without
+// error on its default arguments. The expensive simulation commands are
+// trimmed via flags where possible and skipped under -short.
+
+import "testing"
+
+func TestCommandRegistry(t *testing.T) {
+	if len(commands) < 10 {
+		t.Fatalf("only %d commands registered", len(commands))
+	}
+	seen := map[string]bool{}
+	for _, c := range commands {
+		if c.name == "" || c.brief == "" || c.run == nil {
+			t.Errorf("malformed command %+v", c)
+		}
+		if seen[c.name] {
+			t.Errorf("duplicate command %q", c.name)
+		}
+		seen[c.name] = true
+	}
+}
+
+func runCmd(t *testing.T, name string, args ...string) {
+	t.Helper()
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(args); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("command %q not registered", name)
+}
+
+func TestAnalysisCommands(t *testing.T) {
+	runCmd(t, "blocksizes")
+	runCmd(t, "blocksizes", "-granularity", "8")
+	runCmd(t, "fig8", "-max", "6")
+	runCmd(t, "fig11")
+	runCmd(t, "table1")
+	runCmd(t, "breakeven")
+	runCmd(t, "refinement", "-eta", "4", "-tokens", "16")
+	runCmd(t, "fig6", "-eta", "8")
+}
+
+func TestMemOptCommand(t *testing.T) {
+	runCmd(t, "memopt", "-window", "3")
+}
+
+func TestSharingSweepCommand(t *testing.T) {
+	runCmd(t, "sharing-sweep")
+}
+
+func TestDotCommand(t *testing.T) {
+	runCmd(t, "dot", "-eta", "4")
+	runCmd(t, "dot", "-eta", "4", "-sdf")
+}
+
+func TestRotationCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rotation runs the PAL simulation")
+	}
+	runCmd(t, "rotation", "-seconds", "0.008")
+}
+
+func TestRingVsCrossbarCommand(t *testing.T) {
+	runCmd(t, "ring-vs-crossbar", "-words", "64")
+}
+
+func TestFlowControlCommand(t *testing.T) {
+	runCmd(t, "ablation-flowcontrol", "-words", "256")
+}
+
+func TestSimulationCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation commands are expensive")
+	}
+	runCmd(t, "paldemo", "-seconds", "0.01")
+	runCmd(t, "utilization", "-seconds", "0.01")
+	runCmd(t, "utilization", "-sw-state")
+	runCmd(t, "ablation-spacecheck")
+	runCmd(t, "ablation-arbiter")
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	for _, c := range commands {
+		if c.name == "fig6" {
+			if err := c.run([]string{"-definitely-not-a-flag"}); err == nil {
+				t.Error("bad flag accepted")
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Budgettask demonstrates the software side of the paper's architecture:
+// processor-tile tasks governed by a budget scheduler (§IV-A, [18]), the
+// reason software stages like the stereo reconstruction L = (L+R) − R can
+// appear in the dataflow model as actors with constant worst-case firing
+// durations.
+//
+// One processor tile runs two tasks: the audio reconstruction task (30% of
+// the tile) and a best-effort logging/housekeeping task (70%). The
+// housekeeping task is then saturated with work — and the audio task's
+// per-sample response times do not move at all, staying within the
+// analytical bound R(C) = ⌈C/B⌉·(P−B)+C.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelshare/internal/sim"
+	"accelshare/internal/task"
+)
+
+func main() {
+	const (
+		period      = 1000 // scheduler replenishment period (cycles)
+		audioBudget = 300
+		bgBudget    = 700
+		sampleCost  = 120 // cycles to reconstruct one stereo sample pair
+		samples     = 200
+		samplePer   = 2268 // 44.1 kHz at 100 MHz
+	)
+
+	run := func(loadBackground bool) (worst sim.Time, completions uint64) {
+		k := sim.NewKernel()
+		s, err := task.NewScheduler(k, period)
+		if err != nil {
+			log.Fatal(err)
+		}
+		audio, err := s.AddTask("stereo-reconstruct", audioBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bg, err := s.AddTask("housekeeping", bgBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if loadBackground {
+			for i := 0; i < 5000; i++ {
+				bg.Post(650, nil)
+			}
+		}
+		// One reconstruction item per audio sample period.
+		for i := 0; i < samples; i++ {
+			i := i
+			post := sim.Time(i * samplePer)
+			k.Schedule(post, func() {
+				audio.Post(sampleCost, func() {
+					if resp := k.Now() - post; resp > worst {
+						worst = resp
+					}
+				})
+			})
+		}
+		k.RunAll()
+		return worst, audio.Completed
+	}
+
+	idleWorst, n1 := run(false)
+	loadWorst, n2 := run(true)
+
+	k := sim.NewKernel()
+	s, _ := task.NewScheduler(k, period)
+	audio, _ := s.AddTask("stereo-reconstruct", audioBudget)
+	bound := audio.WorstCaseLatency(sampleCost)
+
+	fmt.Printf("budget scheduler: period %d cycles; audio task %d/%d, housekeeping %d/%d\n",
+		period, audioBudget, period, bgBudget, period)
+	fmt.Printf("audio work item: %d cycles per stereo sample, one every %d cycles\n\n", sampleCost, samplePer)
+	fmt.Printf("%-28s %16s %12s\n", "scenario", "worst response", "completions")
+	fmt.Printf("%-28s %16d %12d\n", "housekeeping idle", idleWorst, n1)
+	fmt.Printf("%-28s %16d %12d\n", "housekeeping saturated", loadWorst, n2)
+	fmt.Printf("\nanalytical bound R(C) = ⌈C/B⌉·(P−B)+C = %d cycles\n", bound)
+	if idleWorst != loadWorst {
+		log.Fatalf("ISOLATION BROKEN: %d != %d", idleWorst, loadWorst)
+	}
+	if loadWorst > bound {
+		log.Fatalf("BOUND VIOLATED: %d > %d", loadWorst, bound)
+	}
+	fmt.Println("\nthe audio task's response is byte-identical under background saturation and")
+	fmt.Println("within its bound: this constant worst case is what lets software tasks enter")
+	fmt.Println("the paper's dataflow model as ordinary actors (ρC in Fig. 5).")
+}

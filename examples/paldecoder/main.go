@@ -1,0 +1,73 @@
+// Paldecoder runs the paper's full demonstrator: a PAL television stereo
+// broadcast is synthesised, decoded in real time on the simulated MPSoC —
+// one CORDIC and one FIR+down-sampler shared by four streams through a
+// single gateway pair — and the reconstructed stereo audio is written to a
+// WAV file so you can listen to the result.
+//
+// Usage:
+//
+//	go run ./examples/paldecoder [-seconds 0.2] [-out stereo.wav]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"accelshare/internal/pal"
+	"accelshare/internal/sim"
+	"accelshare/internal/wav"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 0.1, "seconds of audio to decode")
+	out := flag.String("out", "stereo.wav", "output WAV path (empty = skip)")
+	toneL := flag.Float64("toneL", 523.25, "left-channel test tone in Hz (C5)")
+	toneR := flag.Float64("toneR", 659.25, "right-channel test tone in Hz (E5)")
+	flag.Parse()
+
+	p := pal.DefaultParams()
+	p.Seconds = *seconds
+	p.ToneL = *toneL
+	p.ToneR = *toneR
+
+	fmt.Printf("synthesising %.2f s of PAL baseband at %.4g S/s (FM carriers %+.0f / %+.0f kHz)\n",
+		*seconds, p.FrontendRate(), p.Carrier1/1000, p.Carrier2/1000)
+	d, err := pal.Build(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoding on the shared-accelerator MPSoC (blocks %v, Rs = %d cycles)...\n", p.Blocks, p.Reconfig)
+	d.Run(sim.Time(*seconds*p.ClockHz) * 2)
+
+	rep := d.Sys.Report()
+	fmt.Printf("\n%-12s %8s %12s %12s %6s\n", "stream", "blocks", "in", "out", "drops")
+	for _, sr := range rep.PerStream {
+		fmt.Printf("%-12s %8d %12d %12d %6d\n", sr.Name, sr.Blocks, sr.SamplesIn, sr.SamplesOut, sr.Overflows)
+	}
+	fmt.Printf("\ndecoded %d stereo samples (%.1f ms); gateway: %.1f%% streaming / %.1f%% reconfig\n",
+		len(d.L), 1000*float64(len(d.L))/p.AudioRate, 100*rep.StreamingShare, 100*rep.ReconfigShare)
+
+	if len(d.L) > 400 {
+		l, r := d.L[200:], d.R[200:]
+		fmt.Printf("left  channel: RMS %.0f, tone@%gHz power ratio %.1e\n",
+			pal.RMS(l), p.ToneL, pal.GoertzelPower(l, p.ToneL, p.AudioRate)/(1+pal.GoertzelPower(l, p.ToneR, p.AudioRate)))
+		fmt.Printf("right channel: RMS %.0f, tone@%gHz power ratio %.1e\n",
+			pal.RMS(r), p.ToneR, pal.GoertzelPower(r, p.ToneR, p.AudioRate)/(1+pal.GoertzelPower(r, p.ToneL, p.AudioRate)))
+	}
+
+	if *out != "" && len(d.L) > 0 {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := wav.WriteStereo(f, d.L, d.R, int(p.AudioRate)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d samples, 16-bit stereo %d Hz)\n", *out, len(d.L), int(p.AudioRate))
+	}
+}

@@ -1,0 +1,3 @@
+module accelshare
+
+go 1.22

@@ -1,0 +1,120 @@
+package accel
+
+import (
+	"fmt"
+
+	"accelshare/internal/ring"
+	"accelshare/internal/sim"
+)
+
+// Link is a hardware-FIFO connection over the dual ring with credit-based
+// flow control (paper §IV-A/B): data words travel the data ring from the
+// upstream tile to the downstream NI queue, and one credit travels the
+// credit ring in the opposite direction for every word the downstream
+// consumer removes. The sender may only inject while it holds credits, so
+// the downstream queue can never overflow.
+type Link struct {
+	name       string
+	k          *sim.Kernel
+	net        *ring.Dual
+	srcNode    int
+	dstNode    int
+	dataPort   int
+	creditPort int
+
+	credits    int
+	dst        *sim.Queue
+	creditSubs []*sim.Waker
+
+	// owedCredits counts consumer pops not yet converted into credit
+	// messages (e.g. because the credit-ring injection buffer was full).
+	owedCredits  int
+	creditPump   bool
+	lastPopCount uint64
+
+	// Words counts data words carried.
+	Words uint64
+}
+
+// NewLink wires a credit-controlled connection and binds its ring ports.
+// The downstream queue's capacity determines the initial credit count (the
+// paper's NI FIFOs hold two tokens).
+func NewLink(name string, k *sim.Kernel, net *ring.Dual, srcNode, dstNode, dataPort, creditPort int, dst *sim.Queue) *Link {
+	l := &Link{
+		name: name, k: k, net: net,
+		srcNode: srcNode, dstNode: dstNode,
+		dataPort: dataPort, creditPort: creditPort,
+		credits: dst.Cap(), dst: dst,
+	}
+	// Data arriving at the downstream NI: guaranteed to fit because the
+	// sender spent a credit.
+	net.Data.Node(dstNode).Bind(dataPort, func(m ring.Message) {
+		if !l.dst.TryPush(m.W) {
+			panic(fmt.Sprintf("accel: link %q overflowed NI queue — credit protocol violated", l.name))
+		}
+	})
+	// Credits arriving back at the sender.
+	net.Credit.Node(srcNode).Bind(creditPort, func(m ring.Message) {
+		l.credits += int(m.W)
+		for _, w := range l.creditSubs {
+			w.Wake()
+		}
+	})
+	// Every pop from the NI queue owes one credit upstream.
+	popWatcher := sim.NewWaker(k, func() {
+		pops := l.dst.Popped
+		if pops > l.lastPopCount {
+			l.owedCredits += int(pops - l.lastPopCount)
+			l.lastPopCount = pops
+		}
+		l.pumpCredits()
+	})
+	dst.SubscribeSpace(popWatcher)
+	return l
+}
+
+// pumpCredits sends owed credits over the credit ring, retrying while the
+// injection buffer is busy.
+func (l *Link) pumpCredits() {
+	for l.owedCredits > 0 {
+		if !l.net.Credit.Node(l.dstNode).TrySend(l.srcNode, l.creditPort, 1) {
+			if !l.creditPump {
+				l.creditPump = true
+				l.k.Schedule(2, func() {
+					l.creditPump = false
+					l.pumpCredits()
+				})
+			}
+			return
+		}
+		l.owedCredits--
+	}
+}
+
+// Credits returns the sender's available credits.
+func (l *Link) Credits() int { return l.credits }
+
+// SubscribeCredits wakes w whenever credits return.
+func (l *Link) SubscribeCredits(w *sim.Waker) { l.creditSubs = append(l.creditSubs, w) }
+
+// TrySend injects one word if a credit is held and the ring accepts; the
+// caller retries on a credit or ring-space wake-up otherwise.
+func (l *Link) TrySend(w sim.Word) bool {
+	if l.credits <= 0 {
+		return false
+	}
+	if !l.net.Data.Node(l.srcNode).TrySend(l.dstNode, l.dataPort, w) {
+		return false
+	}
+	l.credits--
+	l.Words++
+	return true
+}
+
+// SubscribeRingSpace wakes w when the sender's ring injection buffer drains.
+func (l *Link) SubscribeRingSpace(w *sim.Waker) {
+	l.net.Data.Node(l.srcNode).SubscribeSpace(w)
+}
+
+// Queue exposes the downstream NI queue (the receiver pops from it).
+func (l *Link) Queue() *sim.Queue { return l.dst }

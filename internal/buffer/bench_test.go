@@ -1,0 +1,44 @@
+package buffer
+
+import (
+	"testing"
+
+	"accelshare/internal/dataflow"
+)
+
+func BenchmarkMinCapacitySingleChannel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := dataflow.NewGraph("bench")
+		a := g.AddActor("a", 5)
+		c := g.AddActor("b", 0)
+		fwd, back := g.AddBuffer("ab", a, c, dataflow.Const(5), dataflow.Const(3), 1)
+		s := &Sizer{G: g, Channels: []Channel{{Fwd: fwd, Back: back}}, Monitor: a}
+		maxTh, err := s.MaxThroughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MinCapacitiesForThroughput(maxTh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalCapacitiesTwoChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := dataflow.NewGraph("bench2")
+		a := g.AddActor("a", 2)
+		c := g.AddActor("b", 4)
+		d := g.AddActor("c", 2)
+		f1, b1 := g.AddBuffer("ab", a, c, dataflow.Const(2), dataflow.Const(1), 1)
+		f2, b2 := g.AddBuffer("bc", c, d, dataflow.Const(1), dataflow.Const(2), 1)
+		s := &Sizer{G: g, Channels: []Channel{{f1, b1}, {f2, b2}}, Monitor: d}
+		maxTh, err := s.MaxThroughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.OptimalCapacities(maxTh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package cfifo implements the C-FIFO software FIFO algorithm (Gangwal,
+// Nieuwland, Lippens — ISSS'01) used by the paper's processor tiles: a
+// circular buffer living in the consumer's local memory, with producer and
+// consumer each holding a local copy of the counterpart's counter. The
+// producer pushes data words and counter updates through the interconnect
+// as posted writes; no hardware flow control is involved, which is exactly
+// why an arbitrary number of software FIFOs can coexist between processor
+// tiles.
+//
+// The implementation is a transaction-level model on the dual-ring
+// interconnect: data and write-counter updates travel the data ring from
+// producer to consumer; read-counter updates travel the data ring from
+// consumer to producer (they are ordinary posted writes, not hardware
+// credits).
+package cfifo
+
+import (
+	"fmt"
+
+	"accelshare/internal/ring"
+	"accelshare/internal/sim"
+)
+
+// Config describes one C-FIFO channel.
+type Config struct {
+	Name string
+	// Capacity is the buffer size in words at the consumer tile.
+	Capacity int
+	// ProducerNode and ConsumerNode are ring attachment indices.
+	ProducerNode, ConsumerNode int
+	// DataPort is the consumer-side ring port for data+write-counter
+	// deliveries; AckPort is the producer-side port for read-counter
+	// updates. Ports must be unique per node.
+	DataPort, AckPort int
+	// AckBatch is how many words the consumer reads between read-counter
+	// updates (1 = update after every word; larger batches reduce ring
+	// traffic at the cost of later space release). Default 1.
+	AckBatch int
+}
+
+// FIFO is one software FIFO. Producer methods must only be called from the
+// producer tile's context and consumer methods from the consumer's; the
+// simulation is single-threaded so this is a modelling convention, not a
+// synchronisation requirement.
+type FIFO struct {
+	cfg Config
+	k   *sim.Kernel
+	net *ring.Dual
+
+	// Producer-side state.
+	writeCount uint64 // samples sent (producer local)
+	readCopy   uint64 // producer's copy of the consumer's read counter
+	spaceSubs  []*sim.Waker
+
+	// Consumer-side state.
+	buf             *sim.Queue
+	readCount       uint64 // samples consumed (consumer local)
+	unacked         int
+	ackRetryPending bool
+	dataSubs        []*sim.Waker
+
+	// Stats.
+	AckMessages uint64
+}
+
+// New wires a C-FIFO onto the interconnect.
+func New(k *sim.Kernel, net *ring.Dual, cfg Config) (*FIFO, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("cfifo %q: capacity must be >= 1", cfg.Name)
+	}
+	if cfg.AckBatch <= 0 {
+		cfg.AckBatch = 1
+	}
+	if cfg.AckBatch > cfg.Capacity {
+		return nil, fmt.Errorf("cfifo %q: ack batch %d exceeds capacity %d (space would never return)",
+			cfg.Name, cfg.AckBatch, cfg.Capacity)
+	}
+	f := &FIFO{cfg: cfg, k: k, net: net}
+	f.buf = sim.NewQueue(cfg.Name+".buf", cfg.Capacity)
+	// Data arriving at the consumer tile: guaranteed acceptance — the
+	// producer never sends beyond the space it observed, so the local
+	// buffer cannot overflow.
+	net.Data.Node(cfg.ConsumerNode).Bind(cfg.DataPort, func(m ring.Message) {
+		if !f.buf.TryPush(m.W) {
+			panic(fmt.Sprintf("cfifo %q: buffer overflow — flow-control algorithm violated", cfg.Name))
+		}
+		for _, w := range f.dataSubs {
+			w.Wake()
+		}
+	})
+	// Read-counter updates arriving at the producer tile.
+	net.Data.Node(cfg.ProducerNode).Bind(cfg.AckPort, func(m ring.Message) {
+		if uint64(m.W) > f.readCopy {
+			f.readCopy = uint64(m.W)
+			for _, w := range f.spaceSubs {
+				w.Wake()
+			}
+		}
+	})
+	return f, nil
+}
+
+// Space returns the producer's view of the free space. It is conservative:
+// in-flight read-counter updates only increase it.
+func (f *FIFO) Space() int {
+	return f.cfg.Capacity - int(f.writeCount-f.readCopy)
+}
+
+// Len returns the consumer-side buffered word count.
+func (f *FIFO) Len() int { return f.buf.Len() }
+
+// TryWrite posts one word from the producer. It reports false when the
+// producer's space view is empty or the ring injection buffer is busy.
+func (f *FIFO) TryWrite(w sim.Word) bool {
+	if f.Space() <= 0 {
+		return false
+	}
+	if !f.net.Data.Node(f.cfg.ProducerNode).TrySend(f.cfg.ConsumerNode, f.cfg.DataPort, w) {
+		return false
+	}
+	f.writeCount++
+	return true
+}
+
+// TryRead pops one word at the consumer, sending a read-counter update
+// every AckBatch words.
+func (f *FIFO) TryRead() (sim.Word, bool) {
+	w, ok := f.buf.TryPop()
+	if !ok {
+		return 0, false
+	}
+	f.readCount++
+	f.unacked++
+	if f.unacked >= f.cfg.AckBatch {
+		f.flushAck()
+	}
+	return w, true
+}
+
+// flushAck posts the current read counter to the producer. If the ring
+// rejects the injection a retry is scheduled; space release is therefore
+// delayed, never lost (the counter is absolute, not a delta).
+func (f *FIFO) flushAck() {
+	if f.net.Data.Node(f.cfg.ConsumerNode).TrySend(f.cfg.ProducerNode, f.cfg.AckPort, sim.Word(f.readCount)) {
+		f.unacked = 0
+		f.AckMessages++
+		return
+	}
+	if !f.ackRetryPending {
+		f.ackRetryPending = true
+		f.k.Schedule(4, func() {
+			f.ackRetryPending = false
+			if f.unacked > 0 {
+				f.flushAck()
+			}
+		})
+	}
+}
+
+// Ack forces a read-counter update (e.g. at the end of a burst) so space
+// returns without waiting for the batch threshold.
+func (f *FIFO) Ack() {
+	if f.unacked > 0 {
+		f.flushAck()
+	}
+}
+
+// SubscribeSpace wakes w when the producer's space view grows.
+func (f *FIFO) SubscribeSpace(w *sim.Waker) { f.spaceSubs = append(f.spaceSubs, w) }
+
+// SubscribeData wakes w when a word arrives at the consumer.
+func (f *FIFO) SubscribeData(w *sim.Waker) { f.dataSubs = append(f.dataSubs, w) }
+
+// Name returns the channel name.
+func (f *FIFO) Name() string { return f.cfg.Name }
+
+// Capacity returns the configured buffer size.
+func (f *FIFO) Capacity() int { return f.cfg.Capacity }

@@ -1,0 +1,274 @@
+package core
+
+// This file implements the paper's §V-G justification (Fig. 9): why the
+// output-space check — and the mutual exclusivity it provides — is not just
+// an optimisation but a *precondition* for dataflow modelling.
+//
+// Fig. 9 shows two producer/consumer pairs (t1→t2 carrying stream 0 and
+// t3→t4 carrying stream 1) sharing one FIFO, the situation between the
+// gateways and accelerators. In SDF, a produced token arrives at its
+// consumer at the moment of production; with a shared FIFO, tokens of the
+// OTHER stream sitting at the head can delay it (head-of-line blocking), so
+// arrival times of stream 0 depend on stream 1's consumer. Worse, the
+// dependence is non-monotone: an EARLIER stream-1 arrival can push a
+// stream-0 token BEHIND it in the queue and delay stream 0 — violating the
+// premise of the-earlier-the-better refinement (∀i a(i) ≤ â(i) ⇒ ∀j
+// b(j) ≤ b̂(j)). The paper's block-wise sharing makes streams mutually
+// exclusive: a stream waits until the FIFO is empty of the other stream, so
+// its tokens are available the moment they are produced, restoring the
+// refinement conditions.
+//
+// SharedFIFOSim makes both regimes executable so the violation (and its
+// absence under mutual exclusion) can be demonstrated and tested, not just
+// asserted.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SharingPolicy selects how the Fig. 9 FIFO is shared.
+type SharingPolicy int
+
+// Sharing policies.
+const (
+	// Interleaved lets both producers enqueue in arrival order — the naive
+	// sharing with head-of-line blocking.
+	Interleaved SharingPolicy = iota
+	// MutuallyExclusive admits a stream only when the FIFO holds no tokens
+	// of the other stream — what the paper's gateways enforce block-wise.
+	MutuallyExclusive
+)
+
+// Fig9Config describes the shared-FIFO scenario.
+type Fig9Config struct {
+	// Capacity of the shared FIFO in tokens.
+	Capacity int
+	// Service[s] is the time consumer of stream s needs per token.
+	Service [2]uint64
+	// Policy selects the sharing regime.
+	Policy SharingPolicy
+}
+
+// Fig9Arrival is one token offered by a producer.
+type Fig9Arrival struct {
+	Stream int // 0 or 1
+	Time   uint64
+}
+
+// Fig9Result reports per-stream token admission times (the instant a token
+// actually enters the FIFO — the SDF "production" instant, since a blocked
+// producer is back-pressure that SDF models explicitly) and departure
+// (consumption) times.
+type Fig9Result struct {
+	Admissions [2][]uint64
+	Departures [2][]uint64
+}
+
+// SimulateSharedFIFO runs the Fig. 9 scenario: tokens arrive per the given
+// schedule (which must be time-sorted), enter the FIFO under the configured
+// policy, and leave in FIFO order, each head token requiring its stream's
+// consumer (consumers are independent and serve only their own stream, but
+// only ever see the FIFO head — head-of-line blocking).
+func SimulateSharedFIFO(cfg Fig9Config, arrivals []Fig9Arrival) (*Fig9Result, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("core: fig9 capacity must be >= 1")
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].Time < arrivals[i-1].Time {
+			return nil, fmt.Errorf("core: fig9 arrivals must be time-sorted")
+		}
+	}
+	for _, a := range arrivals {
+		if a.Stream != 0 && a.Stream != 1 {
+			return nil, fmt.Errorf("core: fig9 stream must be 0 or 1")
+		}
+	}
+
+	type tok struct {
+		stream  int
+		arrival uint64
+	}
+	var queue []tok
+	res := &Fig9Result{}
+	var consumerFree [2]uint64
+	pending := append([]Fig9Arrival(nil), arrivals...)
+	now := uint64(0)
+
+	countStream := func(s int) int {
+		n := 0
+		for _, t := range queue {
+			if t.stream == s {
+				n++
+			}
+		}
+		return n
+	}
+	admissible := func(a Fig9Arrival) bool {
+		if len(queue) >= cfg.Capacity {
+			return false
+		}
+		if cfg.Policy == MutuallyExclusive && countStream(1-a.Stream) > 0 {
+			return false
+		}
+		return true
+	}
+
+	guard := 0
+	for len(pending) > 0 || len(queue) > 0 {
+		guard++
+		if guard > 1_000_000 {
+			return nil, fmt.Errorf("core: fig9 simulation did not converge (deadlock?)")
+		}
+		progressed := false
+		// Admit every arrival that is due and admissible, in order.
+		for len(pending) > 0 && pending[0].Time <= now && admissible(pending[0]) {
+			queue = append(queue, tok{stream: pending[0].Stream, arrival: pending[0].Time})
+			res.Admissions[pending[0].Stream] = append(res.Admissions[pending[0].Stream], now)
+			pending = pending[1:]
+			progressed = true
+		}
+		// Serve the head if its consumer is free.
+		if len(queue) > 0 {
+			h := queue[0]
+			start := now
+			if consumerFree[h.stream] > start {
+				start = consumerFree[h.stream]
+			}
+			if start <= now {
+				dep := now + cfg.Service[h.stream]
+				consumerFree[h.stream] = dep
+				res.Departures[h.stream] = append(res.Departures[h.stream], dep)
+				queue = queue[1:]
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Advance time to the next event: an arrival becoming due, a
+		// consumer freeing up, or (under mutual exclusion) nothing — which
+		// the loop above resolves once the queue drains.
+		next := ^uint64(0)
+		if len(pending) > 0 && pending[0].Time > now {
+			next = pending[0].Time
+		}
+		if len(queue) > 0 {
+			cf := consumerFree[queue[0].stream]
+			if cf > now && cf < next {
+				next = cf
+			}
+		}
+		if next == ^uint64(0) {
+			// Arrivals are due but blocked on capacity/policy while the
+			// queue can still drain via the head consumer.
+			if len(queue) > 0 {
+				next = consumerFree[queue[0].stream]
+				if next <= now {
+					return nil, fmt.Errorf("core: fig9 stuck at t=%d", now)
+				}
+			} else {
+				return nil, fmt.Errorf("core: fig9 deadlock at t=%d", now)
+			}
+		}
+		now = next
+	}
+	return res, nil
+}
+
+// PrivateFIFODepartures computes the departure times a stream would see on
+// a FIFO of its own, given admission times and its consumer's service time:
+// dep[k] = max(adm[k], dep[k-1]) + service. Under the paper's mutual
+// exclusivity, the shared FIFO is indistinguishable from this private FIFO
+// conditional on admissions — the isolation property that makes the SDF
+// model applicable (§V-G: "a token produced by s will immediately be
+// available at the FIFO output").
+func PrivateFIFODepartures(admissions []uint64, service uint64) []uint64 {
+	deps := make([]uint64, len(admissions))
+	var prev uint64
+	for k, a := range admissions {
+		take := a
+		if prev > take {
+			take = prev
+		}
+		deps[k] = take + service
+		prev = deps[k]
+	}
+	return deps
+}
+
+// IsolationHolds reports whether the shared-FIFO departures equal the
+// private-FIFO departures for both streams (conditional independence from
+// the other stream).
+func IsolationHolds(cfg Fig9Config, res *Fig9Result) bool {
+	for s := 0; s < 2; s++ {
+		want := PrivateFIFODepartures(res.Admissions[s], cfg.Service[s])
+		if len(want) != len(res.Departures[s]) {
+			return false
+		}
+		for k := range want {
+			if want[k] != res.Departures[s][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fig9Violation is a witness that the-earlier-the-better fails: making one
+// input arrive EARLIER made some output LATER.
+type Fig9Violation struct {
+	// MovedArrival is the index into the arrival schedule whose time was
+	// decreased.
+	MovedArrival int
+	// EarlierBy is how much earlier it was made.
+	EarlierBy uint64
+	// Stream and Token identify the output that got later.
+	Stream, Token int
+	Before, After uint64
+}
+
+// FindEarlierTheBetterViolation searches the given base schedule for a
+// counterexample to monotonicity under the configured policy: for every
+// arrival, it tries moving it earlier by each step in `shifts` and checks
+// whether any token's departure becomes later. Returns nil if the policy is
+// monotone on this schedule.
+func FindEarlierTheBetterViolation(cfg Fig9Config, base []Fig9Arrival, shifts []uint64) (*Fig9Violation, error) {
+	ref, err := SimulateSharedFIFO(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	for idx := range base {
+		for _, sh := range shifts {
+			if base[idx].Time < sh {
+				continue
+			}
+			mod := append([]Fig9Arrival(nil), base...)
+			mod[idx].Time -= sh
+			sort.SliceStable(mod, func(i, j int) bool { return mod[i].Time < mod[j].Time })
+			got, err := SimulateSharedFIFO(cfg, mod)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < 2; s++ {
+				n := len(ref.Departures[s])
+				if len(got.Departures[s]) < n {
+					n = len(got.Departures[s])
+				}
+				for k := 0; k < n; k++ {
+					if got.Departures[s][k] > ref.Departures[s][k] {
+						return &Fig9Violation{
+							MovedArrival: idx,
+							EarlierBy:    sh,
+							Stream:       s,
+							Token:        k,
+							Before:       ref.Departures[s][k],
+							After:        got.Departures[s][k],
+						}, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,180 @@
+// Package cost models the FPGA resource costs of the paper's components
+// (Virtex 6 slices and LUTs) and computes the shared-versus-duplicated
+// comparison of Table I and the per-component breakdown of Fig. 11. The
+// per-component numbers are the paper's synthesis measurements; everything
+// derived from them — totals, savings, break-even points, sweeps — is
+// computed here.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resources is an FPGA footprint.
+type Resources struct {
+	Slices int
+	LUTs   int
+}
+
+// Add returns the sum of two footprints.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{Slices: r.Slices + o.Slices, LUTs: r.LUTs + o.LUTs}
+}
+
+// Scale returns the footprint times n.
+func (r Resources) Scale(n int) Resources {
+	return Resources{Slices: r.Slices * n, LUTs: r.LUTs * n}
+}
+
+// Sub returns r minus o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{Slices: r.Slices - o.Slices, LUTs: r.LUTs - o.LUTs}
+}
+
+// Component names used by the paper.
+const (
+	MicroBlaze    = "MicroBlaze"
+	DMA           = "DMA"
+	EntryGateway  = "Entry-gateway" // MicroBlaze-based tile incl. DMA
+	ExitGateway   = "Exit-gateway"
+	FIRDownsample = "FIR+Downsample"
+	CORDIC        = "CORDIC"
+	RingFIFO      = "Ring FIFO"
+)
+
+// PaperComponents returns the per-component costs of Fig. 11 / Table I.
+// Table I lists "Entry- + Exit-gateway" at 3788 slices / 4445 LUTs; Fig. 11
+// attributes most of the entry gateway to its MicroBlaze. We model the
+// pair's split so the sum matches Table I exactly.
+func PaperComponents() map[string]Resources {
+	return map[string]Resources{
+		// Entry gateway: MicroBlaze core + DMA + arbitration logic.
+		MicroBlaze:    {Slices: 2400, LUTs: 2800},
+		DMA:           {Slices: 500, LUTs: 600},
+		ExitGateway:   {Slices: 888, LUTs: 1045},
+		RingFIFO:      {Slices: 150, LUTs: 180},
+		FIRDownsample: {Slices: 6512, LUTs: 10837},
+		CORDIC:        {Slices: 1714, LUTs: 1882},
+	}
+}
+
+// GatewayPair returns the full entry+exit gateway cost (Table I row 1:
+// 3788 slices, 4445 LUTs).
+func GatewayPair() Resources {
+	c := PaperComponents()
+	return c[MicroBlaze].Add(c[DMA]).Add(c[ExitGateway])
+}
+
+// SharingCase describes one accelerator type being shared.
+type SharingCase struct {
+	Name string
+	Unit Resources
+	// Copies is how many private instances the non-shared design needs.
+	Copies int
+}
+
+// Comparison is the Table I computation.
+type Comparison struct {
+	NonShared Resources
+	Shared    Resources
+	Savings   Resources
+	// SlicesPct/LUTsPct are the fractional savings (the paper: 63.5% /
+	// 66.3%).
+	SlicesPct, LUTsPct float64
+}
+
+// Compare computes a shared-vs-duplicated comparison: the non-shared design
+// instantiates every accelerator Copies times; the shared design has one of
+// each plus one gateway pair.
+func Compare(cases []SharingCase, gateway Resources) Comparison {
+	var cmp Comparison
+	for _, c := range cases {
+		cmp.NonShared = cmp.NonShared.Add(c.Unit.Scale(c.Copies))
+		cmp.Shared = cmp.Shared.Add(c.Unit)
+	}
+	cmp.Shared = cmp.Shared.Add(gateway)
+	cmp.Savings = cmp.NonShared.Sub(cmp.Shared)
+	if cmp.NonShared.Slices > 0 {
+		cmp.SlicesPct = 100 * float64(cmp.Savings.Slices) / float64(cmp.NonShared.Slices)
+	}
+	if cmp.NonShared.LUTs > 0 {
+		cmp.LUTsPct = 100 * float64(cmp.Savings.LUTs) / float64(cmp.NonShared.LUTs)
+	}
+	return cmp
+}
+
+// PaperTableI reproduces Table I: four private FIR+D and four private
+// CORDIC instances versus one of each behind a gateway pair.
+func PaperTableI() Comparison {
+	c := PaperComponents()
+	return Compare([]SharingCase{
+		{Name: FIRDownsample, Unit: c[FIRDownsample], Copies: 4},
+		{Name: CORDIC, Unit: c[CORDIC], Copies: 4},
+	}, GatewayPair())
+}
+
+// BreakEven returns the smallest number of streams (= private copies
+// avoided) at which sharing one instance of the accelerator pays for the
+// gateway pair, in slices. Sharing n streams saves (n-1)·unit - gateway.
+func BreakEven(unit, gateway Resources) int {
+	if unit.Slices <= 0 {
+		return 0
+	}
+	n := gateway.Slices/unit.Slices + 2
+	for k := 2; k <= n; k++ {
+		if (k-1)*unit.Slices > gateway.Slices {
+			return k
+		}
+	}
+	return n
+}
+
+// SavingsSweep computes Table-I-style savings for a range of stream counts
+// (one private accelerator set per stream avoided by sharing).
+func SavingsSweep(cases []SharingCase, gateway Resources, maxStreams int) []Comparison {
+	var out []Comparison
+	for n := 1; n <= maxStreams; n++ {
+		scaled := make([]SharingCase, len(cases))
+		for i, c := range cases {
+			scaled[i] = SharingCase{Name: c.Name, Unit: c.Unit, Copies: n}
+		}
+		out = append(out, Compare(scaled, gateway))
+	}
+	return out
+}
+
+// FormatFig11 renders the Fig. 11 bar data as an aligned text table sorted
+// by cost.
+func FormatFig11() string {
+	comps := PaperComponents()
+	names := make([]string, 0, len(comps))
+	for n := range comps {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return comps[names[i]].Slices > comps[names[j]].Slices })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s\n", "component", "slices", "LUTs")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-16s %8d %8d\n", n, comps[n].Slices, comps[n].LUTs)
+	}
+	fmt.Fprintf(&b, "%-16s %8d %8d\n", "Entry+Exit pair", GatewayPair().Slices, GatewayPair().LUTs)
+	return b.String()
+}
+
+// FormatTableI renders the Table I comparison.
+func FormatTableI() string {
+	c := PaperComponents()
+	cmp := PaperTableI()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %8s\n", "component", "slices", "LUTs")
+	fmt.Fprintf(&b, "%-28s %8d %8d\n", "Entry- + Exit-gateway", GatewayPair().Slices, GatewayPair().LUTs)
+	fmt.Fprintf(&b, "%-28s %8d %8d\n", "LPF + down-sampler (F+D)", c[FIRDownsample].Slices, c[FIRDownsample].LUTs)
+	fmt.Fprintf(&b, "%-28s %8d %8d\n", "CORDIC (C)", c[CORDIC].Slices, c[CORDIC].LUTs)
+	fmt.Fprintf(&b, "%-28s %8d %8d\n", "4*(F+D) + 4*C (non-shared)", cmp.NonShared.Slices, cmp.NonShared.LUTs)
+	fmt.Fprintf(&b, "%-28s %8d %8d\n", "Gateways + (F+D) + C", cmp.Shared.Slices, cmp.Shared.LUTs)
+	fmt.Fprintf(&b, "%-28s %7d(%.1f%%) %7d(%.1f%%)\n", "Savings",
+		cmp.Savings.Slices, cmp.SlicesPct, cmp.Savings.LUTs, cmp.LUTsPct)
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{Slices: 10, LUTs: 20}
+	b := Resources{Slices: 3, LUTs: 5}
+	if s := a.Add(b); s.Slices != 13 || s.LUTs != 25 {
+		t.Errorf("Add = %+v", s)
+	}
+	if s := a.Sub(b); s.Slices != 7 || s.LUTs != 15 {
+		t.Errorf("Sub = %+v", s)
+	}
+	if s := b.Scale(4); s.Slices != 12 || s.LUTs != 20 {
+		t.Errorf("Scale = %+v", s)
+	}
+}
+
+func TestGatewayPairMatchesTableI(t *testing.T) {
+	// Table I row 1: Entry- + Exit-gateway = 3788 slices, 4445 LUTs.
+	g := GatewayPair()
+	if g.Slices != 3788 || g.LUTs != 4445 {
+		t.Fatalf("gateway pair = %+v, want {3788 4445}", g)
+	}
+}
+
+func TestPaperTableIReproducesSavings(t *testing.T) {
+	cmp := PaperTableI()
+	// Non-shared: 4×(6512+1714) = 32904 slices; 4×(10837+1882) = 50876 LUTs.
+	if cmp.NonShared.Slices != 32904 {
+		t.Errorf("non-shared slices = %d, want 32904", cmp.NonShared.Slices)
+	}
+	if cmp.NonShared.LUTs != 50876 {
+		t.Errorf("non-shared LUTs = %d, want 50876", cmp.NonShared.LUTs)
+	}
+	// Shared: gateways + one of each = 3788+6512+1714 = 12014 slices;
+	// 4445+10837+1882 = 17164 LUTs.
+	if cmp.Shared.Slices != 12014 {
+		t.Errorf("shared slices = %d, want 12014", cmp.Shared.Slices)
+	}
+	if cmp.Shared.LUTs != 17164 {
+		t.Errorf("shared LUTs = %d, want 17164", cmp.Shared.LUTs)
+	}
+	// Savings: 20890 slices (63.5%), 33712 LUTs (66.3%).
+	if cmp.Savings.Slices != 20890 || cmp.Savings.LUTs != 33712 {
+		t.Errorf("savings = %+v, want {20890 33712}", cmp.Savings)
+	}
+	if cmp.SlicesPct < 63.4 || cmp.SlicesPct > 63.6 {
+		t.Errorf("slice savings = %.2f%%, paper reports 63.5%%", cmp.SlicesPct)
+	}
+	if cmp.LUTsPct < 66.2 || cmp.LUTsPct > 66.4 {
+		t.Errorf("LUT savings = %.2f%%, paper reports 66.3%%", cmp.LUTsPct)
+	}
+}
+
+func TestCompareSingleCopyIsNegative(t *testing.T) {
+	// Sharing with only one stream ADDS the gateway overhead.
+	c := PaperComponents()
+	cmp := Compare([]SharingCase{{Name: CORDIC, Unit: c[CORDIC], Copies: 1}}, GatewayPair())
+	if cmp.Savings.Slices >= 0 {
+		t.Errorf("single-stream sharing should cost extra, savings = %+v", cmp.Savings)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	c := PaperComponents()
+	g := GatewayPair()
+	// FIR+D (6512 slices) amortises the 3788-slice gateway with the 2nd
+	// stream.
+	if be := BreakEven(c[FIRDownsample], g); be != 2 {
+		t.Errorf("FIR break-even = %d, want 2", be)
+	}
+	// CORDIC alone (1714 slices): needs (n-1)*1714 > 3788 -> n = 4.
+	if be := BreakEven(c[CORDIC], g); be != 4 {
+		t.Errorf("CORDIC break-even = %d, want 4", be)
+	}
+	if be := BreakEven(Resources{}, g); be != 0 {
+		t.Errorf("zero-cost unit break-even = %d", be)
+	}
+}
+
+func TestSavingsSweepMonotone(t *testing.T) {
+	c := PaperComponents()
+	cases := []SharingCase{
+		{Name: FIRDownsample, Unit: c[FIRDownsample], Copies: 0},
+		{Name: CORDIC, Unit: c[CORDIC], Copies: 0},
+	}
+	sweep := SavingsSweep(cases, GatewayPair(), 8)
+	if len(sweep) != 8 {
+		t.Fatalf("sweep length = %d", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Savings.Slices <= sweep[i-1].Savings.Slices {
+			t.Errorf("savings not increasing at %d streams", i+1)
+		}
+	}
+	// The paper's operating point is 4 streams.
+	four := sweep[3]
+	if four.Savings.Slices != 20890 {
+		t.Errorf("4-stream savings = %d, want 20890", four.Savings.Slices)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	fig := FormatFig11()
+	for _, want := range []string{"MicroBlaze", "CORDIC", "FIR+Downsample", "Exit-gateway"} {
+		if !strings.Contains(fig, want) {
+			t.Errorf("Fig. 11 table missing %q:\n%s", want, fig)
+		}
+	}
+	tab := FormatTableI()
+	for _, want := range []string{"63.5%", "66.3%", "20890", "33712"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("Table I missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestInterconnectScaling(t *testing.T) {
+	p := DefaultInterconnectParams()
+	// Ring is linear, crossbar quadratic: the ratio crossbar/ring must be
+	// strictly increasing in the node count.
+	prev := 0.0
+	for n := 2; n <= 32; n++ {
+		r := float64(p.CrossbarCost(n).Slices) / float64(p.RingCost(n).Slices)
+		if r <= prev {
+			t.Fatalf("ratio not increasing at n=%d", n)
+		}
+		prev = r
+	}
+	be := p.InterconnectBreakEven(64)
+	if be == 0 || be > 16 {
+		t.Errorf("break-even = %d, expected small", be)
+	}
+	// Sanity on the exact formulas.
+	if p.RingCost(3).Slices != 3*p.RingNode.Slices {
+		t.Error("ring cost not linear")
+	}
+	want := p.CrossbarPort.Scale(4).Add(p.CrossbarPoint.Scale(16))
+	if p.CrossbarCost(4) != want {
+		t.Errorf("crossbar cost = %+v, want %+v", p.CrossbarCost(4), want)
+	}
+}

@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interconnect cost scaling (paper §II): the dual ring from [11]/[14] costs
+// one ring FIFO pair plus NI per tile — linear in the node count — while a
+// point-to-point crossbar of the kind used by [13]/[9] needs a crosspoint
+// multiplexer structure that grows with the square of the port count. The
+// paper measured the ring building blocks (Fig. 11: ring FIFO 150 slices /
+// 180 LUTs); the crossbar coefficients below are stated estimates for a
+// 32-bit datapath on the same device family and are parameters, not claims.
+
+// InterconnectParams holds the per-structure cost coefficients.
+type InterconnectParams struct {
+	// RingNode is one tile attachment: two ring FIFOs (data + credit ring)
+	// plus slot logic.
+	RingNode Resources
+	// CrossbarPort is the per-port input/output buffering of the crossbar.
+	CrossbarPort Resources
+	// CrossbarPoint is one crosspoint (a 32-bit mux leg plus arbitration
+	// share); the crossbar needs N² of them.
+	CrossbarPoint Resources
+}
+
+// DefaultInterconnectParams seeds the ring from the paper's Fig. 11 (ring
+// FIFO 150/180 per direction) and the crossbar from estimates calibrated
+// against published guaranteed-throughput NoC implementations: a
+// slot-scheduled crossbar port needs an Æthereal-class network interface
+// with slot tables and reconfiguration logic (several hundred slices — the
+// very comparison of [13]), plus N crosspoint mux legs of ≈32 LUTs each.
+// The coefficients are parameters, not measurements; the robust conclusion
+// is the scaling law (linear vs quadratic), and the break-even is reported
+// as a function of them.
+func DefaultInterconnectParams() InterconnectParams {
+	return InterconnectParams{
+		RingNode:      Resources{Slices: 2 * 150, LUTs: 2 * 180}, // data + credit ring FIFO
+		CrossbarPort:  Resources{Slices: 250, LUTs: 600},
+		CrossbarPoint: Resources{Slices: 10, LUTs: 36},
+	}
+}
+
+// RingCost returns the dual-ring cost for n tiles: linear.
+func (p InterconnectParams) RingCost(n int) Resources {
+	return p.RingNode.Scale(n)
+}
+
+// CrossbarCost returns the TDM crossbar cost for n tiles: n ports plus n²
+// crosspoints.
+func (p InterconnectParams) CrossbarCost(n int) Resources {
+	return p.CrossbarPort.Scale(n).Add(p.CrossbarPoint.Scale(n * n))
+}
+
+// InterconnectBreakEven returns the smallest node count at which the ring
+// is cheaper than the crossbar in slices (typically very small).
+func (p InterconnectParams) InterconnectBreakEven(maxN int) int {
+	for n := 1; n <= maxN; n++ {
+		if p.RingCost(n).Slices < p.CrossbarCost(n).Slices {
+			return n
+		}
+	}
+	return 0
+}
+
+// FormatInterconnectSweep renders ring vs crossbar cost over node counts.
+func (p InterconnectParams) FormatInterconnectSweep(maxN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %16s %16s %10s\n", "tiles", "dual ring", "TDM crossbar", "ratio")
+	for n := 2; n <= maxN; n++ {
+		r := p.RingCost(n)
+		x := p.CrossbarCost(n)
+		fmt.Fprintf(&b, "%6d %10d sl %3s %10d sl %3s %9.2fx\n",
+			n, r.Slices, "", x.Slices, "", float64(x.Slices)/float64(r.Slices))
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrZeroTokenCycle is returned when the graph contains a cycle with zero
+// initial tokens and positive total duration: such a graph deadlocks (or, as
+// a cycle-ratio, the bound is infinite).
+var ErrZeroTokenCycle = errors.New("dataflow: zero-token cycle with positive duration (deadlock)")
+
+// MaxCycleRatio computes, over all directed cycles C of the graph
+// interpreted as an HSDF graph (rates are ignored; the implicit self-edge is
+// NOT added — expansions from ExpandHSDF carry it explicitly):
+//
+//	λ* = max_C  (Σ_{e∈C} duration(src(e))) / (Σ_{e∈C} initial(e))
+//
+// λ* is the minimum achievable period per firing of every actor in a
+// strongly connected HSDF graph; throughput = 1/λ*. An acyclic graph returns
+// 0 (no cycle constrains the rate). A zero-token cycle with positive weight
+// yields ErrZeroTokenCycle.
+//
+// The computation is exact: a rational bisection narrows the answer below
+// the minimum gap 1/T² between distinct candidate ratios (T = total tokens),
+// after which the unique rational with denominator ≤ T in the bracket is
+// recovered.
+func (g *Graph) MaxCycleRatio() (*big.Rat, error) {
+	n := len(g.Actors)
+	type arc struct {
+		from, to int
+		w        int64 // duration of source actor
+		t        int64 // initial tokens
+	}
+	arcs := make([]arc, 0, len(g.Edges))
+	var totalW, totalT int64
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		a := arc{from: int(e.Src), to: int(e.Dst), w: int64(g.Actors[e.Src].Duration[0]), t: e.Initial}
+		arcs = append(arcs, a)
+		totalW += a.w
+		totalT += a.t
+	}
+	if len(arcs) == 0 || n == 0 {
+		return new(big.Rat), nil
+	}
+	if totalT > 2_000_000 {
+		return nil, fmt.Errorf("dataflow: MaxCycleRatio token total %d too large for exact recovery; use Simulate", totalT)
+	}
+
+	// hasPositiveCycle reports whether some cycle has Σ(w - λ·t) > 0.
+	hasPositiveCycle := func(lambda *big.Rat) bool {
+		dist := make([]*big.Rat, n)
+		for i := range dist {
+			dist[i] = new(big.Rat)
+		}
+		val := make([]*big.Rat, len(arcs))
+		for i, a := range arcs {
+			val[i] = new(big.Rat).Sub(new(big.Rat).SetInt64(a.w), new(big.Rat).Mul(lambda, new(big.Rat).SetInt64(a.t)))
+		}
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for i, a := range arcs {
+				cand := new(big.Rat).Add(dist[a.from], val[i])
+				if cand.Cmp(dist[a.to]) > 0 {
+					dist[a.to].Set(cand)
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		// One more pass: any further relaxation proves a positive cycle.
+		for i, a := range arcs {
+			cand := new(big.Rat).Add(dist[a.from], val[i])
+			if cand.Cmp(dist[a.to]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Acyclic (token-weighted) graphs: no positive cycle even at λ = -1
+	// means no cycle at all contributes; more directly, test λ slightly
+	// negative — any cycle (even zero-weight) would be positive. Use λ = -1.
+	if !hasPositiveCycle(big.NewRat(-1, 1)) {
+		return new(big.Rat), nil
+	}
+	// Infinite ratio (zero-token positive-weight cycle): at λ = totalW + 1
+	// every cycle with ≥1 token has value ≤ totalW - λ < 0, so a remaining
+	// positive cycle must have zero tokens.
+	if hasPositiveCycle(new(big.Rat).SetInt64(totalW + 1)) {
+		return nil, ErrZeroTokenCycle
+	}
+	if totalT == 0 {
+		// Cycles exist but carry no tokens and no weight: ratio 0/0; treat
+		// as unconstrained.
+		return new(big.Rat), nil
+	}
+
+	lo := new(big.Rat)                      // test(lo) may be true (λ* > 0) or false (λ* == 0)
+	hi := new(big.Rat).SetInt64(totalW + 1) // test(hi) == false
+	if !hasPositiveCycle(lo) {
+		// Largest cycle ratio is ≤ 0; with non-negative weights it is 0.
+		return new(big.Rat), nil
+	}
+	// Invariant: test(lo) == true (lo < λ*), test(hi) == false (λ* ≤ hi).
+	gap := new(big.Rat).SetFrac64(1, totalT*totalT)
+	for new(big.Rat).Sub(hi, lo).Cmp(gap) > 0 {
+		mid := new(big.Rat).Add(lo, hi)
+		mid.Mul(mid, big.NewRat(1, 2))
+		if hasPositiveCycle(mid) {
+			lo.Set(mid)
+		} else {
+			hi.Set(mid)
+		}
+	}
+	// Recover the unique rational with denominator ≤ totalT in (lo, hi].
+	for den := int64(1); den <= totalT; den++ {
+		num := new(big.Int).Mul(hi.Num(), big.NewInt(den))
+		num.Div(num, hi.Denom()) // floor(hi * den)
+		cand := new(big.Rat).SetFrac(num, big.NewInt(den))
+		if cand.Cmp(lo) > 0 && cand.Cmp(hi) <= 0 {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("dataflow: cycle-ratio recovery failed in (%v, %v]", lo, hi)
+}
+
+// ThroughputViaMCR returns the steady-state firing rate of original actor a
+// implied by the maximum cycle ratio of the HSDF expansion: each of the q_a
+// copies fires once per λ*, so the aggregate rate is q_a / λ*.
+func (x *HSDFExpansion) ThroughputViaMCR(a ActorID) (*big.Rat, error) {
+	lambda, err := x.Graph.MaxCycleRatio()
+	if err != nil {
+		return nil, err
+	}
+	if lambda.Sign() == 0 {
+		return nil, errors.New("dataflow: MCR is zero (unconstrained rate); graph has no token-bearing cycle")
+	}
+	q := new(big.Rat).SetInt64(x.Reps.Firings[a])
+	return q.Quo(q, lambda), nil
+}

@@ -1,0 +1,67 @@
+package dsp
+
+import "testing"
+
+func BenchmarkRotate(b *testing.B) {
+	var acc int32
+	for i := 0; i < b.N; i++ {
+		x, y := Rotate(1<<20, -(1 << 19), Phase(uint32(i)*2654435761))
+		acc += x + y
+	}
+	_ = acc
+}
+
+func BenchmarkVector(b *testing.B) {
+	var acc int32
+	for i := 0; i < b.N; i++ {
+		m, _ := Vector(int32(i)|1, int32(-i))
+		acc += m
+	}
+	_ = acc
+}
+
+func BenchmarkFIRPush33Taps(b *testing.B) {
+	h, err := DesignLowPass(33, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := NewFIR(QuantizeQ15(h), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var acc int32
+	for i := 0; i < b.N; i++ {
+		oi, oq, _ := f.Push(int32(i), int32(-i))
+		acc += oi + oq
+	}
+	_ = acc
+}
+
+func BenchmarkFIRPushDecimate8(b *testing.B) {
+	h, _ := DesignLowPass(33, 0.05)
+	f, _ := NewFIR(QuantizeQ15(h), 8)
+	for i := 0; i < b.N; i++ {
+		f.Push(int32(i), 0)
+	}
+}
+
+func BenchmarkFMModDemodPair(b *testing.B) {
+	mod := NewModulator(0, 25000, 200000, 1<<24)
+	dem := NewDiscriminator()
+	var acc int32
+	for i := 0; i < b.N; i++ {
+		x, y := mod.Modulate(int32(i & 0x7fff))
+		acc += dem.Demod(x, y)
+	}
+	_ = acc
+}
+
+func BenchmarkDesignLowPass(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DesignLowPass(33, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

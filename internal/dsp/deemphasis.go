@@ -1,0 +1,67 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deemphasis is the one-pole IIR that undoes FM broadcast pre-emphasis
+// (PAL television sound uses τ = 50 µs): y[n] = a·x[n] + (1-a)·y[n-1] with
+// a = 1 - exp(-1/(τ·fs)). It runs as a software post-processing step on
+// the processor tile after stereo reconstruction, so it is implemented in
+// fixed point (Q15 coefficient) like the rest of the audio path.
+type Deemphasis struct {
+	// A is the Q15 filter coefficient.
+	A int32
+	y int64 // Q15 state
+}
+
+// NewDeemphasis builds the filter for a time constant in seconds at the
+// given sample rate.
+func NewDeemphasis(tau, sampleRate float64) (*Deemphasis, error) {
+	if tau <= 0 || sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: deemphasis needs positive tau and rate")
+	}
+	a := 1 - math.Exp(-1/(tau*sampleRate))
+	q := int32(math.Round(a * 32768))
+	if q < 1 {
+		q = 1
+	}
+	if q > 32768 {
+		q = 32768
+	}
+	return &Deemphasis{A: q}, nil
+}
+
+// Process filters one sample.
+func (d *Deemphasis) Process(x int32) int32 {
+	// y += a·(x - y), all in Q15-scaled arithmetic on the state.
+	xq := int64(x) << 15
+	d.y += (int64(d.A) * ((xq - d.y) >> 15))
+	return int32(d.y >> 15)
+}
+
+// Reset clears the filter state.
+func (d *Deemphasis) Reset() { d.y = 0 }
+
+// SaveState / LoadState support context switches like the other engines.
+func (d *Deemphasis) SaveState() []uint64 { return []uint64{uint64(d.y)} }
+
+// LoadState restores a snapshot.
+func (d *Deemphasis) LoadState(s []uint64) error {
+	if len(s) != 1 {
+		return fmt.Errorf("dsp: deemphasis state must be 1 word")
+	}
+	d.y = int64(s[0])
+	return nil
+}
+
+// ResponseAt returns the filter's analytic magnitude response at a
+// frequency (fraction of the sample rate) — the float oracle for tests.
+func (d *Deemphasis) ResponseAt(freq float64) float64 {
+	a := float64(d.A) / 32768
+	b := 1 - a
+	// H(z) = a / (1 - b·z^-1), |H(e^{jw})| = a / sqrt(1 + b² - 2b·cos w).
+	w := 2 * math.Pi * freq
+	return a / math.Sqrt(1+b*b-2*b*math.Cos(w))
+}

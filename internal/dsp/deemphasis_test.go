@@ -1,0 +1,88 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeemphasisValidation(t *testing.T) {
+	if _, err := NewDeemphasis(0, 44100); err == nil {
+		t.Error("zero tau accepted")
+	}
+	if _, err := NewDeemphasis(50e-6, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestDeemphasisDCUnityGain(t *testing.T) {
+	d, err := NewDeemphasis(50e-6, 44100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var y int32
+	for i := 0; i < 4000; i++ {
+		y = d.Process(10000)
+	}
+	if math.Abs(float64(y)-10000) > 50 {
+		t.Errorf("DC output = %d, want ~10000", y)
+	}
+}
+
+func TestDeemphasisAttenuatesHighFrequencies(t *testing.T) {
+	const fs = 44100.0
+	d, _ := NewDeemphasis(50e-6, fs)
+	measure := func(freq float64) float64 {
+		d.Reset()
+		var peak float64
+		n := 4000
+		for i := 0; i < n; i++ {
+			x := int32(10000 * math.Sin(2*math.Pi*freq*float64(i)/fs))
+			y := d.Process(x)
+			if i > n/2 && math.Abs(float64(y)) > peak {
+				peak = math.Abs(float64(y))
+			}
+		}
+		return peak
+	}
+	low := measure(300)
+	high := measure(10000)
+	if high >= low/2 {
+		t.Errorf("10 kHz peak %f not attenuated vs 300 Hz peak %f", high, low)
+	}
+	// Compare against the analytic response within ~15%.
+	wantRatio := d.ResponseAt(10000/fs) / d.ResponseAt(300/fs)
+	gotRatio := high / low
+	if math.Abs(gotRatio-wantRatio) > 0.15*wantRatio {
+		t.Errorf("ratio %f vs analytic %f", gotRatio, wantRatio)
+	}
+}
+
+func TestDeemphasisCorner(t *testing.T) {
+	// The -3 dB corner of a 50 µs network is ~3183 Hz.
+	d, _ := NewDeemphasis(50e-6, 44100)
+	corner := 1 / (2 * math.Pi * 50e-6)
+	g := d.ResponseAt(corner / 44100)
+	if math.Abs(g-1/math.Sqrt2) > 0.05 {
+		t.Errorf("gain at corner = %f, want ~0.707", g)
+	}
+}
+
+func TestDeemphasisStateRoundTrip(t *testing.T) {
+	a, _ := NewDeemphasis(50e-6, 44100)
+	b, _ := NewDeemphasis(50e-6, 44100)
+	for i := 0; i < 100; i++ {
+		a.Process(int32(i * 37 % 5000))
+	}
+	if err := b.LoadState(a.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := int32(i * 91 % 4000)
+		if a.Process(x) != b.Process(x) {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+	if err := b.LoadState(nil); err == nil {
+		t.Error("empty state accepted")
+	}
+}

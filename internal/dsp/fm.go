@@ -1,0 +1,100 @@
+package dsp
+
+// This file implements the FM path of the PAL stereo decoder: a CORDIC
+// channel mixer (frequency translation), an FM discriminator (phase
+// differentiation via CORDIC vectoring) and an FM modulator used by the
+// synthetic front-end.
+
+// Mixer translates a complex stream by a fixed frequency using CORDIC
+// rotation — the paper's "channel mixer accelerator containing a CORDIC".
+type Mixer struct {
+	Osc NCO
+}
+
+// NewMixer builds a mixer shifting by freqHz (negative = down-conversion)
+// at the given sample rate.
+func NewMixer(freqHz, sampleRateHz float64) *Mixer {
+	return &Mixer{Osc: NCO{Step: NCOStep(freqHz, sampleRateHz)}}
+}
+
+// Mix translates one sample.
+func (m *Mixer) Mix(i, q int32) (int32, int32) {
+	return Rotate(i, q, m.Osc.Next())
+}
+
+// Reset rewinds the oscillator phase.
+func (m *Mixer) Reset() { m.Osc.Phase = 0 }
+
+// Discriminator demodulates FM by differentiating the instantaneous phase:
+// out[n] = angle(x[n]) - angle(x[n-1]), the paper's second CORDIC
+// accelerator ("convert the data stream from FM radio to normal audio").
+// The output is the phase step per sample (full circle = 2^32) scaled down
+// to a signed 32-bit audio-domain sample.
+type Discriminator struct {
+	prev     Phase
+	havePrev bool
+	// OutputShift divides the raw phase delta (31-bit full scale) down to
+	// the desired amplitude; 16 yields ±32767-ish for deviations near a
+	// quarter of the sample rate.
+	OutputShift uint
+}
+
+// NewDiscriminator returns a discriminator with the default output scaling.
+func NewDiscriminator() *Discriminator { return &Discriminator{OutputShift: 16} }
+
+// Demod consumes one complex sample and produces one audio sample.
+func (d *Discriminator) Demod(i, q int32) int32 {
+	_, ph := Vector(i, q)
+	if !d.havePrev {
+		d.prev = ph
+		d.havePrev = true
+		return 0
+	}
+	delta := int32(ph - d.prev) // wrap-safe signed difference
+	d.prev = ph
+	return delta >> d.OutputShift
+}
+
+// Reset clears the phase history.
+func (d *Discriminator) Reset() { d.havePrev = false; d.prev = 0 }
+
+// Prev returns the stored previous phase (context-switch state).
+func (d *Discriminator) Prev() Phase { return d.prev }
+
+// HavePrev reports whether a previous phase is stored.
+func (d *Discriminator) HavePrev() bool { return d.havePrev }
+
+// SetHistory restores the phase history saved by Prev/HavePrev.
+func (d *Discriminator) SetHistory(p Phase, have bool) {
+	d.prev = p
+	d.havePrev = have
+}
+
+// Modulator produces a complex FM signal from an audio stream: the
+// synthetic stand-in for the Epiq FMC-1RX front-end plus PAL transmitter.
+type Modulator struct {
+	Osc NCO
+	// DeviationStep is the phase step added per unit of full-scale input
+	// (audio sample / 2^15 × DeviationStep).
+	DeviationStep Phase
+	Amplitude     int32
+}
+
+// NewModulator builds an FM modulator at carrierHz with the given peak
+// deviation in Hz for full-scale (±32767) audio input.
+func NewModulator(carrierHz, deviationHz, sampleRateHz float64, amplitude int32) *Modulator {
+	return &Modulator{
+		Osc:           NCO{Step: NCOStep(carrierHz, sampleRateHz)},
+		DeviationStep: NCOStep(deviationHz, sampleRateHz),
+		Amplitude:     amplitude,
+	}
+}
+
+// Modulate produces the next complex sample for one audio input sample
+// (16-bit range).
+func (m *Modulator) Modulate(audio int32) (int32, int32) {
+	dev := Phase(int64(audio) * int64(int32(m.DeviationStep)) >> 15)
+	m.Osc.Phase += dev
+	p := m.Osc.Next()
+	return Rotate(m.Amplitude, 0, p)
+}

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window selects the tapering function for windowed-sinc FIR design. The
+// paper's 33-tap filter corresponds to the classic Hamming design; the
+// other windows trade transition width against stopband attenuation and are
+// provided for exploring the accelerator's configurability (a "coarsely
+// programmable" filter accepts any coefficient set).
+type Window int
+
+// Supported windows.
+const (
+	Hamming Window = iota
+	Hann
+	Blackman
+	BlackmanHarris
+	Rectangular
+)
+
+func (w Window) String() string {
+	switch w {
+	case Hamming:
+		return "hamming"
+	case Hann:
+		return "hann"
+	case Blackman:
+		return "blackman"
+	case BlackmanHarris:
+		return "blackman-harris"
+	case Rectangular:
+		return "rectangular"
+	}
+	return "?"
+}
+
+// value evaluates the window at position n of taps points.
+func (w Window) value(n, taps int) float64 {
+	x := 2 * math.Pi * float64(n) / float64(taps-1)
+	switch w {
+	case Hamming:
+		return 0.54 - 0.46*math.Cos(x)
+	case Hann:
+		return 0.5 - 0.5*math.Cos(x)
+	case Blackman:
+		return 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	case BlackmanHarris:
+		return 0.35875 - 0.48829*math.Cos(x) + 0.14128*math.Cos(2*x) - 0.01168*math.Cos(3*x)
+	case Rectangular:
+		return 1
+	}
+	return 1
+}
+
+// DesignLowPassWindowed is DesignLowPass with an explicit window choice.
+func DesignLowPassWindowed(taps int, cutoff float64, w Window) ([]float64, error) {
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: taps must be odd and >= 3, got %d", taps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: cutoff must be in (0, 0.5), got %v", cutoff)
+	}
+	h := make([]float64, taps)
+	mid := float64(taps-1) / 2
+	var sum float64
+	for n := 0; n < taps; n++ {
+		x := float64(n) - mid
+		var s float64
+		if x == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*x) / (math.Pi * x)
+		}
+		h[n] = s * w.value(n, taps)
+		sum += h[n]
+	}
+	for n := range h {
+		h[n] /= sum
+	}
+	return h, nil
+}
+
+// StopbandAttenuation estimates the worst stopband magnitude (relative to
+// DC gain) of a low-pass design over [edge, 0.5), in dB (negative values;
+// more negative = better).
+func StopbandAttenuation(h []float64, edge float64) float64 {
+	worst := 0.0
+	for f := edge; f < 0.5; f += 0.002 {
+		if g := Response(h, f); g > worst {
+			worst = g
+		}
+	}
+	if worst == 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(worst)
+}
+
+// Goertzel measures the normalised power of a tone at freq in a real
+// signal sampled at rate — the single-bin DFT used as the functional test
+// oracle throughout the PAL experiments.
+func Goertzel(x []int32, freq, rate float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / rate
+	c := 2 * math.Cos(w)
+	var s1, s2 float64
+	for _, v := range x {
+		s0 := float64(v) + c*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - c*s1*s2
+	return power / float64(len(x)) / float64(len(x))
+}

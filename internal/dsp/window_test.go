@@ -1,0 +1,87 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowNames(t *testing.T) {
+	for _, w := range []Window{Hamming, Hann, Blackman, BlackmanHarris, Rectangular} {
+		if w.String() == "?" {
+			t.Errorf("window %d has no name", w)
+		}
+	}
+}
+
+func TestWindowedDesignsValid(t *testing.T) {
+	for _, w := range []Window{Hamming, Hann, Blackman, BlackmanHarris, Rectangular} {
+		h, err := DesignLowPassWindowed(33, 0.05, w)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if g := Response(h, 0); math.Abs(g-1) > 1e-9 {
+			t.Errorf("%v: DC gain = %v", w, g)
+		}
+		// Symmetric (linear phase).
+		for i := 0; i < len(h)/2; i++ {
+			if math.Abs(h[i]-h[len(h)-1-i]) > 1e-12 {
+				t.Errorf("%v: asymmetric at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestDesignLowPassIsHamming(t *testing.T) {
+	a, _ := DesignLowPass(33, 0.07)
+	b, _ := DesignLowPassWindowed(33, 0.07, Hamming)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("DesignLowPass differs from Hamming design at %d", i)
+		}
+	}
+}
+
+func TestWindowStopbandOrdering(t *testing.T) {
+	// For equal taps, Blackman-Harris attenuates the stopband more than
+	// Hamming, which beats rectangular.
+	att := func(w Window) float64 {
+		h, err := DesignLowPassWindowed(63, 0.1, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return StopbandAttenuation(h, 0.2)
+	}
+	rect := att(Rectangular)
+	ham := att(Hamming)
+	bh := att(BlackmanHarris)
+	if !(bh < ham && ham < rect) {
+		t.Errorf("attenuation ordering broken: bh=%.1f ham=%.1f rect=%.1f", bh, ham, rect)
+	}
+	if ham > -40 {
+		t.Errorf("hamming stopband only %.1f dB", ham)
+	}
+}
+
+func TestWindowedDesignValidation(t *testing.T) {
+	if _, err := DesignLowPassWindowed(10, 0.1, Hann); err == nil {
+		t.Error("even taps accepted")
+	}
+	if _, err := DesignLowPassWindowed(11, 0.9, Hann); err == nil {
+		t.Error("bad cutoff accepted")
+	}
+}
+
+func TestGoertzelInDSP(t *testing.T) {
+	var x []int32
+	for n := 0; n < 2000; n++ {
+		x = append(x, int32(5000*math.Sin(2*math.Pi*100*float64(n)/8000)))
+	}
+	on := Goertzel(x, 100, 8000)
+	off := Goertzel(x, 333, 8000)
+	if on < 1000*off {
+		t.Errorf("goertzel separation: on=%g off=%g", on, off)
+	}
+	if Goertzel(nil, 1, 2) != 0 {
+		t.Error("empty input should give 0")
+	}
+}

@@ -1,0 +1,30 @@
+package gateway
+
+import (
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+// BenchmarkBlockService measures one full block turn (reconfig + stream +
+// drain) through the hand-wired single-accelerator rig.
+func BenchmarkBlockService(b *testing.B) {
+	k := sim.NewKernel()
+	r := benchRig(b, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			for !r.in.TryWrite(sim.Word(j)) {
+				k.RunAll()
+			}
+		}
+		k.RunAll()
+		for {
+			if _, ok := r.out.TryRead(); !ok {
+				break
+			}
+		}
+		k.RunAll()
+	}
+}

@@ -1,0 +1,577 @@
+// Package gateway implements the paper's contribution in simulated
+// hardware: the entry-gateway and exit-gateway tiles that multiplex blocks
+// of samples from multiple real-time streams over a shared chain of
+// accelerators.
+//
+// The entry gateway (paper §IV-C) round-robins over its streams. A stream
+// is eligible only when (1) a full block of ηs samples is present in its
+// input C-FIFO, (2) at least the block's worth of space is free in the
+// OUTPUT C-FIFO — the space check that makes the CSDF model conservative —
+// and (3) the accelerator pipeline is idle (the previous block fully passed
+// the exit gateway). Serving a block means: reconfigure the accelerators
+// over the configuration bus (save the outgoing stream's state, load the
+// incoming one's — Rs cycles), then DMA the ηs samples to the first
+// accelerator at ε cycles each under credit flow control.
+//
+// The exit gateway converts the hardware flow-controlled stream back to a
+// software C-FIFO at δ cycles per sample and notifies the entry gateway
+// when the last sample of the block has passed — the pipeline-idle signal.
+package gateway
+
+import (
+	"fmt"
+
+	"accelshare/internal/accel"
+	"accelshare/internal/cfifo"
+	"accelshare/internal/ring"
+	"accelshare/internal/sim"
+)
+
+// Arbitration selects the entry gateway's stream-selection policy.
+type Arbitration int
+
+// Arbitration policies.
+const (
+	// RoundRobin serves eligible streams in rotating order — the paper's
+	// policy (§IV-C), which bounds every stream's interference to one block
+	// of each other stream (Eq. 3, via [19]).
+	RoundRobin Arbitration = iota
+	// FixedPriority always serves the lowest-index eligible stream — the
+	// ablation showing why RR matters: a saturated high-priority stream
+	// starves the rest, so no finite ε̂s exists.
+	FixedPriority
+)
+
+// ReconfigMode selects how context-switch time is charged.
+type ReconfigMode int
+
+// Reconfiguration cost models.
+const (
+	// ReconfigFixed charges the stream's Rs cycles as one bus transaction —
+	// the paper's hardware-supported model (Rs = 4100 cycles).
+	ReconfigFixed ReconfigMode = iota
+	// ReconfigPerWord charges base + words·perWord for saving the outgoing
+	// engines plus the same for loading the incoming ones — the paper's
+	// prototype, which switched state "from software" and was dominated by
+	// it (ablation A3).
+	ReconfigPerWord
+)
+
+// Config parameterises a gateway pair.
+type Config struct {
+	Name string
+	// EntryNode/ExitNode are the ring attachment points of the two tiles.
+	EntryNode, ExitNode int
+	// EntryCost is ε (the paper's prototype: 15 cycles/sample); ExitCost is
+	// δ (1 cycle/sample).
+	EntryCost, ExitCost sim.Time
+	// Mode selects the reconfiguration cost model.
+	Mode ReconfigMode
+	// Arbiter selects the stream arbitration policy (default RoundRobin).
+	Arbiter Arbitration
+	// BusBase/BusPerWord parameterise ReconfigPerWord.
+	BusBase, BusPerWord sim.Time
+	// IdlePort is the entry-gateway ring port for pipeline-idle messages.
+	IdlePort int
+	// RecordOutputTimes keeps per-sample output timestamps on every stream
+	// (memory-heavy; enable in tests and measurements only).
+	RecordOutputTimes bool
+	// DisableSpaceCheck is the A1 ablation: eligibility ignores the output
+	// buffer — the check the paper adds over prior work [8]. With it
+	// disabled the exit gateway can block mid-block on a slow consumer,
+	// head-of-line blocking every other stream and breaking the temporal
+	// model.
+	DisableSpaceCheck bool
+	// RecordActivity keeps a per-phase activity trace (reconfiguration,
+	// streaming, draining spans per block) for Gantt rendering.
+	RecordActivity bool
+	// DrainTimeout arms a watchdog on the drain phase: if the pipeline-idle
+	// notification has not arrived this many cycles after the last sample
+	// was issued, the gateway declares the chain stalled (a fault — sample
+	// loss inside an accelerator, a wedged NI) and invokes OnStall. The
+	// model gives the natural setting: the drain can never legitimately
+	// exceed the Eq. 2 flush allowance of ~2·c0 plus interconnect transit,
+	// so a small multiple of c0 is safe. 0 disables the watchdog.
+	DrainTimeout sim.Time
+	// OnStall is called once per detected stall with the stream index.
+	OnStall func(stream int)
+}
+
+// ActivityKind labels one span of gateway activity.
+type ActivityKind int
+
+// Activity kinds.
+const (
+	ActReconfig ActivityKind = iota
+	ActStream
+	ActDrain
+)
+
+func (k ActivityKind) String() string {
+	switch k {
+	case ActReconfig:
+		return "reconfig"
+	case ActStream:
+		return "stream"
+	case ActDrain:
+		return "drain"
+	}
+	return "?"
+}
+
+// Activity is one recorded span.
+type Activity struct {
+	Stream int
+	Kind   ActivityKind
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Stream is one data stream bound to a gateway pair.
+type Stream struct {
+	Name string
+	// Block is ηs in input samples; OutBlock is the samples the chain emits
+	// per block (Block divided by the chain's total decimation). Block must
+	// be a multiple of the chain's decimation so OutBlock is exact.
+	Block, OutBlock int64
+	// Reconfig is Rs for ReconfigFixed.
+	Reconfig sim.Time
+	// In is the input C-FIFO (the gateway is its consumer); Out is the
+	// output C-FIFO (the exit gateway is its producer).
+	In, Out *cfifo.FIFO
+	// Engines holds one engine instance per accelerator tile in chain
+	// order, owning this stream's configuration and state.
+	Engines []accel.Engine
+
+	saved  [][]uint64
+	loaded bool
+
+	// Stats.
+	Blocks        uint64
+	SamplesIn     uint64
+	SamplesOut    uint64
+	queued        bool
+	queuedAt      sim.Time
+	MaxTurnaround sim.Time
+	OutTimes      []sim.Time
+}
+
+type entryState int
+
+const (
+	stIdle entryState = iota
+	stReconfig
+	stStreaming
+	stDraining
+)
+
+// Pair is one entry/exit gateway pair managing a chain of accelerator
+// tiles.
+type Pair struct {
+	cfg     Config
+	k       *sim.Kernel
+	net     *ring.Dual
+	tiles   []*accel.Tile
+	bus     *accel.ConfigBus
+	link    *accel.Link // entry gateway -> first accelerator
+	exitNI  *sim.Queue  // last accelerator -> exit gateway NI
+	streams []*Stream
+
+	// Entry state machine.
+	state    entryState
+	active   int // index into streams
+	rr       int
+	sent     int64
+	dmaBusy  bool
+	holding  bool
+	heldWord sim.Word
+	step     *sim.Waker
+
+	// Exit state machine.
+	exitBusy    bool
+	exitCount   int64
+	exitHolding bool
+	exitHeld    sim.Word
+	exitStep    *sim.Waker
+
+	// Utilisation accounting (cycles).
+	ReconfigCycles  uint64
+	StreamingCycles uint64
+	lastStreamStart sim.Time
+	startTime       sim.Time
+	started         bool
+
+	// Activities is the recorded span trace (when cfg.RecordActivity).
+	Activities []Activity
+	phaseStart sim.Time
+
+	// Stalls counts drain-watchdog firings (chain faults detected).
+	Stalls     uint64
+	drainEpoch uint64
+}
+
+// NewPair wires a gateway pair around existing accelerator tiles. The
+// caller provides the entry link (to the first tile) and the exit NI queue
+// (destination of the last tile's link); tiles are listed in chain order.
+func NewPair(k *sim.Kernel, net *ring.Dual, cfg Config, tiles []*accel.Tile, entryLink *accel.Link, exitNI *sim.Queue) (*Pair, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("gateway %q: no accelerator tiles", cfg.Name)
+	}
+	if cfg.EntryCost == 0 {
+		cfg.EntryCost = 1
+	}
+	if cfg.ExitCost == 0 {
+		cfg.ExitCost = 1
+	}
+	p := &Pair{
+		cfg: cfg, k: k, net: net, tiles: tiles,
+		bus: accel.NewConfigBus(k, cfg.BusBase, cfg.BusPerWord), link: entryLink, exitNI: exitNI,
+		active: -1,
+	}
+	p.step = sim.NewWaker(k, p.entryRun)
+	p.exitStep = sim.NewWaker(k, p.exitRun)
+	entryLink.SubscribeCredits(p.step)
+	entryLink.SubscribeRingSpace(p.step)
+	exitNI.SubscribeData(p.exitStep)
+	// Pipeline-idle notifications arrive on the entry tile's idle port.
+	net.Data.Node(cfg.EntryNode).Bind(cfg.IdlePort, func(m ring.Message) {
+		p.onPipelineIdle(int(m.W))
+	})
+	return p, nil
+}
+
+// AddStream registers a stream. Must be called before Start.
+func (p *Pair) AddStream(s *Stream) error {
+	if s.Block <= 0 {
+		return fmt.Errorf("gateway: stream %q needs a positive block size", s.Name)
+	}
+	if s.OutBlock <= 0 {
+		return fmt.Errorf("gateway: stream %q needs a positive output block size", s.Name)
+	}
+	if len(s.Engines) != len(p.tiles) {
+		return fmt.Errorf("gateway: stream %q has %d engines for %d tiles", s.Name, len(s.Engines), len(p.tiles))
+	}
+	if s.In.Capacity() < int(s.Block) {
+		return fmt.Errorf("gateway: stream %q input FIFO %d < block %d (can never assemble a block)",
+			s.Name, s.In.Capacity(), s.Block)
+	}
+	if s.Out.Capacity() < int(s.OutBlock) {
+		return fmt.Errorf("gateway: stream %q output FIFO %d < out-block %d (space check can never pass)",
+			s.Name, s.Out.Capacity(), s.OutBlock)
+	}
+	s.saved = make([][]uint64, len(s.Engines))
+	p.streams = append(p.streams, s)
+	s.In.SubscribeData(p.step)
+	s.Out.SubscribeSpace(p.step)
+	return nil
+}
+
+// Streams returns the registered streams.
+func (p *Pair) Streams() []*Stream { return p.streams }
+
+// Start arms the gateway pair; wake-ups arriving earlier are ignored.
+func (p *Pair) Start() {
+	p.started = true
+	p.startTime = p.k.Now()
+	p.step.Wake()
+}
+
+// ready reports whether stream i can be served now: full input block,
+// reserved output space.
+func (p *Pair) ready(i int) bool {
+	s := p.streams[i]
+	if s.In.Len() < int(s.Block) {
+		return false
+	}
+	if p.cfg.DisableSpaceCheck {
+		return true
+	}
+	return s.Out.Space() >= int(s.OutBlock)
+}
+
+// trackQueued records the instant each stream becomes eligible, for
+// turnaround (γs) measurement against Eq. 4.
+func (p *Pair) trackQueued() {
+	for i, s := range p.streams {
+		if !s.queued && p.ready(i) && !(p.state != stIdle && i == p.active) {
+			s.queued = true
+			s.queuedAt = p.k.Now()
+		}
+	}
+}
+
+// entryRun is the entry gateway's step function.
+func (p *Pair) entryRun() {
+	if !p.started {
+		return
+	}
+	p.trackQueued()
+	switch p.state {
+	case stIdle:
+		p.tryStart()
+	case stStreaming:
+		p.pump()
+	}
+}
+
+func (p *Pair) tryStart() {
+	n := len(p.streams)
+	if n == 0 {
+		return
+	}
+	base := p.rr
+	if p.cfg.Arbiter == FixedPriority {
+		base = 0
+	}
+	for off := 0; off < n; off++ {
+		i := (base + off) % n
+		if p.ready(i) {
+			p.beginBlock(i)
+			return
+		}
+	}
+}
+
+// beginBlock starts serving stream i: reconfiguration first.
+func (p *Pair) beginBlock(i int) {
+	p.state = stReconfig
+	prev := p.active
+	p.active = i
+	p.rr = (i + 1) % len(p.streams)
+	s := p.streams[i]
+
+	var cost sim.Time
+	switch p.cfg.Mode {
+	case ReconfigFixed:
+		cost = s.Reconfig
+	case ReconfigPerWord:
+		words := 0
+		if prev >= 0 {
+			for _, e := range p.streams[prev].Engines {
+				words += e.StateWords()
+			}
+		}
+		for _, e := range s.Engines {
+			words += e.StateWords()
+		}
+		cost = 2*p.cfg.BusBase + sim.Time(words)*p.cfg.BusPerWord
+	}
+	p.ReconfigCycles += uint64(cost)
+	p.phaseStart = p.k.Now()
+	p.bus.TransferCycles(cost, func() {
+		if err := p.swapEngines(prev, i); err != nil {
+			panic(fmt.Sprintf("gateway %s: %v", p.cfg.Name, err))
+		}
+		p.recordActivity(ActReconfig)
+		// Configure the exit gateway for the new block (its own port on the
+		// configuration bus, per Fig. 4b).
+		p.exitCount = 0
+		p.state = stStreaming
+		p.sent = 0
+		p.lastStreamStart = p.k.Now()
+		s.queued = true // ensure turnaround accounting has a reference
+		p.pump()
+	})
+}
+
+// swapEngines saves the outgoing stream's accelerator state and restores
+// the incoming stream's. The tiles must be idle — reconfiguring while data
+// is in flight would corrupt it (paper §IV: "the entry- and exit-gateway
+// work together to ensure that the pipeline is idle").
+func (p *Pair) swapEngines(prev, next int) error {
+	if prev >= 0 {
+		ps := p.streams[prev]
+		for t, e := range ps.Engines {
+			ps.saved[t] = e.SaveState()
+		}
+	}
+	ns := p.streams[next]
+	for t, e := range ns.Engines {
+		if ns.loaded {
+			if err := e.LoadState(ns.saved[t]); err != nil {
+				return fmt.Errorf("restore %s tile %d: %w", ns.Name, t, err)
+			}
+		}
+		if err := p.tiles[t].SetEngine(e); err != nil {
+			return err
+		}
+	}
+	ns.loaded = true
+	return nil
+}
+
+// pump advances the DMA copying the active block into the chain.
+func (p *Pair) pump() {
+	if p.state != stStreaming || p.dmaBusy {
+		return
+	}
+	if p.holding {
+		if !p.link.TrySend(p.heldWord) {
+			return // woken again by credits/ring space
+		}
+		p.holding = false
+		p.sent++
+		p.afterSample()
+		return
+	}
+	s := p.streams[p.active]
+	if p.sent >= s.Block {
+		return
+	}
+	w, ok := s.In.TryRead()
+	if !ok {
+		panic(fmt.Sprintf("gateway %s: input underflow on %s — eligibility check broken", p.cfg.Name, s.Name))
+	}
+	p.dmaBusy = true
+	p.k.Schedule(p.cfg.EntryCost, func() {
+		p.dmaBusy = false
+		p.StreamingCycles += uint64(p.cfg.EntryCost)
+		if !p.link.TrySend(w) {
+			p.holding = true
+			p.heldWord = w
+			return
+		}
+		p.sent++
+		p.afterSample()
+	})
+}
+
+func (p *Pair) afterSample() {
+	s := p.streams[p.active]
+	s.SamplesIn++
+	if p.sent >= s.Block {
+		s.In.Ack() // release any batched input space promptly
+		p.recordActivity(ActStream)
+		p.state = stDraining
+		p.armDrainWatchdog()
+		return
+	}
+	p.pump()
+}
+
+// armDrainWatchdog starts the stall detector for the current drain phase.
+func (p *Pair) armDrainWatchdog() {
+	if p.cfg.DrainTimeout == 0 {
+		return
+	}
+	p.drainEpoch++
+	epoch := p.drainEpoch
+	stream := p.active
+	p.k.Schedule(p.cfg.DrainTimeout, func() {
+		if p.state == stDraining && p.drainEpoch == epoch && p.active == stream {
+			p.Stalls++
+			if p.cfg.OnStall != nil {
+				p.cfg.OnStall(stream)
+			}
+		}
+	})
+}
+
+// recordActivity closes the current phase span (when enabled).
+func (p *Pair) recordActivity(kind ActivityKind) {
+	if !p.cfg.RecordActivity {
+		return
+	}
+	p.Activities = append(p.Activities, Activity{
+		Stream: p.active, Kind: kind, Start: p.phaseStart, End: p.k.Now(),
+	})
+	p.phaseStart = p.k.Now()
+}
+
+// exitRun is the exit gateway's step function: one sample per δ cycles from
+// the NI to the output C-FIFO.
+func (p *Pair) exitRun() {
+	if p.exitBusy {
+		return
+	}
+	if p.exitHolding {
+		s := p.streams[p.active]
+		if !s.Out.TryWrite(p.exitHeld) {
+			p.k.Schedule(2, func() { p.exitStep.Wake() })
+			return
+		}
+		p.exitHolding = false
+		p.afterExitSample()
+		return
+	}
+	w, ok := p.exitNI.TryPop()
+	if !ok {
+		return
+	}
+	p.exitBusy = true
+	p.k.Schedule(p.cfg.ExitCost, func() {
+		p.exitBusy = false
+		s := p.streams[p.active]
+		if !s.Out.TryWrite(w) {
+			// The space check reserved room, but the ring injection buffer
+			// can still be momentarily busy.
+			p.exitHolding = true
+			p.exitHeld = w
+			p.k.Schedule(2, func() { p.exitStep.Wake() })
+			return
+		}
+		p.afterExitSample()
+	})
+}
+
+func (p *Pair) afterExitSample() {
+	s := p.streams[p.active]
+	s.SamplesOut++
+	if p.cfg.RecordOutputTimes {
+		s.OutTimes = append(s.OutTimes, p.k.Now())
+	}
+	p.exitCount++
+	if p.exitCount >= s.OutBlock {
+		// Last sample of the block passed through: notify the entry gateway
+		// over the ring.
+		p.sendIdle(p.active)
+	}
+	p.exitStep.Wake()
+}
+
+func (p *Pair) sendIdle(streamIdx int) {
+	if !p.net.Data.Node(p.cfg.ExitNode).TrySend(p.cfg.EntryNode, p.cfg.IdlePort, sim.Word(streamIdx)) {
+		p.k.Schedule(2, func() { p.sendIdle(streamIdx) })
+	}
+}
+
+// onPipelineIdle completes the active block.
+func (p *Pair) onPipelineIdle(streamIdx int) {
+	if p.state != stDraining || streamIdx != p.active {
+		panic(fmt.Sprintf("gateway %s: spurious idle notification (state=%d idx=%d active=%d)",
+			p.cfg.Name, p.state, streamIdx, p.active))
+	}
+	p.recordActivity(ActDrain)
+	s := p.streams[p.active]
+	s.Blocks++
+	if s.queued {
+		turn := p.k.Now() - s.queuedAt
+		if turn > s.MaxTurnaround {
+			s.MaxTurnaround = turn
+		}
+		s.queued = false
+	}
+	p.state = stIdle
+	p.step.Wake()
+}
+
+// PendingWait returns how long stream s has had a complete, eligible block
+// waiting without service (0 when nothing is pending) — the starvation
+// indicator for arbitration experiments: completed-block turnaround alone
+// cannot see a block that is never served.
+func (p *Pair) PendingWait(s int) sim.Time {
+	st := p.streams[s]
+	if !st.queued || (p.state != stIdle && s == p.active) {
+		return 0
+	}
+	return p.k.Now() - st.queuedAt
+}
+
+// Busy returns accounting figures: total observed cycles, cycles spent
+// reconfiguring, and cycles the DMA spent streaming.
+func (p *Pair) Busy() (total, reconfig, streaming uint64) {
+	return uint64(p.k.Now() - p.startTime), p.ReconfigCycles, p.StreamingCycles
+}
+
+// Tiles returns the managed accelerator tiles.
+func (p *Pair) Tiles() []*accel.Tile { return p.tiles }

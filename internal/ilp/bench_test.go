@@ -1,0 +1,44 @@
+package ilp
+
+import (
+	"math/big"
+	"testing"
+)
+
+func benchProblem(nv int) *Problem {
+	p := NewMinimize()
+	one := big.NewRat(1, 1)
+	for i := 0; i < nv; i++ {
+		p.AddVar("x", one, true)
+	}
+	// Coupled covering constraints reminiscent of Algorithm 1.
+	for i := 0; i < nv; i++ {
+		coef := make([]*big.Rat, nv)
+		for j := range coef {
+			coef[j] = big.NewRat(-1, 20)
+		}
+		coef[i] = big.NewRat(9, 10)
+		p.AddConstraint("c", coef, GE, big.NewRat(int64(50+i*13), 1))
+	}
+	return p
+}
+
+func BenchmarkSolveLP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := benchProblem(6).SolveLP()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+	}
+}
+
+func BenchmarkSolveILP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := benchProblem(6).SolveILP()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ilp
+
+import (
+	"errors"
+	"math/big"
+)
+
+// brancher implements depth-first branch and bound over the exact LP
+// relaxation. Branching adds bound constraints x_i ≤ ⌊v⌋ / x_i ≥ ⌈v⌉ for a
+// fractional integer variable.
+type brancher struct {
+	base     *Problem
+	best     *Solution
+	maxNodes int
+	nodes    int
+}
+
+// ErrBranchBudget is returned when branch and bound explores too many nodes.
+var ErrBranchBudget = errors.New("ilp: branch-and-bound node budget exceeded")
+
+func (b *brancher) run() (*Solution, error) {
+	if b.maxNodes == 0 {
+		b.maxNodes = 200_000
+	}
+	if err := b.explore(b.base); err != nil {
+		return nil, err
+	}
+	if b.best == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return b.best, nil
+}
+
+// better reports whether objective o improves on the incumbent.
+func (b *brancher) better(o *big.Rat) bool {
+	if b.best == nil {
+		return true
+	}
+	if b.base.Minimize {
+		return o.Cmp(b.best.Objective) < 0
+	}
+	return o.Cmp(b.best.Objective) > 0
+}
+
+// boundedWorse reports whether the relaxation bound o can not improve on the
+// incumbent (prune).
+func (b *brancher) boundedWorse(o *big.Rat) bool {
+	if b.best == nil {
+		return false
+	}
+	if b.base.Minimize {
+		return o.Cmp(b.best.Objective) >= 0
+	}
+	return o.Cmp(b.best.Objective) <= 0
+}
+
+func (b *brancher) explore(p *Problem) error {
+	b.nodes++
+	if b.nodes > b.maxNodes {
+		return ErrBranchBudget
+	}
+	sol, err := p.SolveLP()
+	if err != nil {
+		return err
+	}
+	switch sol.Status {
+	case Infeasible:
+		return nil
+	case Unbounded:
+		// An unbounded relaxation of an integral problem: report by keeping
+		// the unbounded status if nothing better exists.
+		if b.best == nil {
+			b.best = sol
+		}
+		return nil
+	}
+	if b.boundedWorse(sol.Objective) {
+		return nil
+	}
+	// Find the first fractional integer variable.
+	frac := -1
+	for i, isInt := range b.base.integer {
+		if isInt && !sol.X[i].IsInt() {
+			frac = i
+			break
+		}
+	}
+	if frac == -1 {
+		if b.better(sol.Objective) || (b.best != nil && b.best.Status == Unbounded) {
+			b.best = sol
+		}
+		return nil
+	}
+	v := sol.X[frac]
+	floor := new(big.Int).Div(v.Num(), v.Denom()) // v > 0 in our problems; Div floors for positive denom
+	lo := new(big.Rat).SetInt(floor)
+	hi := new(big.Rat).Add(lo, rat(1))
+
+	coef := make([]*big.Rat, p.NumVars())
+	for i := range coef {
+		coef[i] = new(big.Rat)
+	}
+	coef[frac] = rat(1)
+
+	left := cloneProblem(p)
+	left.AddConstraint("branch.le", coef, LE, lo)
+	if err := b.explore(left); err != nil {
+		return err
+	}
+	right := cloneProblem(p)
+	right.AddConstraint("branch.ge", coef, GE, hi)
+	return b.explore(right)
+}
+
+func cloneProblem(p *Problem) *Problem {
+	c := &Problem{Minimize: p.Minimize}
+	c.names = append([]string(nil), p.names...)
+	c.integer = append([]bool(nil), p.integer...)
+	c.obj = make([]*big.Rat, len(p.obj))
+	for i, v := range p.obj {
+		c.obj[i] = new(big.Rat).Set(v)
+	}
+	c.cons = make([]Constraint, len(p.cons))
+	for i, con := range p.cons {
+		cc := Constraint{Name: con.Name, Rel: con.Rel, RHS: new(big.Rat).Set(con.RHS)}
+		cc.Coef = make([]*big.Rat, len(con.Coef))
+		for j, v := range con.Coef {
+			cc.Coef[j] = new(big.Rat).Set(v)
+		}
+		c.cons[i] = cc
+	}
+	return c
+}

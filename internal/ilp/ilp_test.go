@@ -1,0 +1,372 @@
+package ilp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func r(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestSolveLPSimpleMax(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+	p := NewMaximize()
+	x := p.AddVar("x", r(3, 1), false)
+	y := p.AddVar("y", r(2, 1), false)
+	p.AddConstraint("c1", []*big.Rat{r(1, 1), r(1, 1)}, LE, r(4, 1))
+	p.AddConstraint("c2", []*big.Rat{r(1, 1), r(3, 1)}, LE, r(6, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Objective.Cmp(r(12, 1)) != 0 {
+		t.Errorf("obj = %v, want 12", sol.Objective)
+	}
+	if sol.X[x].Cmp(r(4, 1)) != 0 || sol.X[y].Sign() != 0 {
+		t.Errorf("x = %v, y = %v", sol.X[x], sol.X[y])
+	}
+}
+
+func TestSolveLPMinWithGE(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 10, x >= 2 -> y=0? check: obj=2x+3y,
+	// cheapest per unit is x, so x=10, y=0, obj 20.
+	p := NewMinimize()
+	p.AddVar("x", r(2, 1), false)
+	p.AddVar("y", r(3, 1), false)
+	p.AddConstraint("sum", []*big.Rat{r(1, 1), r(1, 1)}, GE, r(10, 1))
+	p.AddConstraint("xmin", []*big.Rat{r(1, 1), r(0, 1)}, GE, r(2, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(20, 1)) != 0 {
+		t.Fatalf("sol = %v, want obj 20", sol)
+	}
+}
+
+func TestSolveLPEquality(t *testing.T) {
+	// minimize x + y s.t. x + 2y == 8, y <= 3 -> y=3, x=2, obj 5.
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddVar("y", r(1, 1), false)
+	p.AddConstraint("eq", []*big.Rat{r(1, 1), r(2, 1)}, EQ, r(8, 1))
+	p.AddConstraint("cap", []*big.Rat{r(0, 1), r(1, 1)}, LE, r(3, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(5, 1)) != 0 {
+		t.Fatalf("sol = %v, want obj 5", sol)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddConstraint("lo", []*big.Rat{r(1, 1)}, GE, r(5, 1))
+	p.AddConstraint("hi", []*big.Rat{r(1, 1)}, LE, r(3, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	p := NewMaximize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddConstraint("lo", []*big.Rat{r(1, 1)}, GE, r(1, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// -x <= -3  <=>  x >= 3; minimize x -> 3.
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddConstraint("c", []*big.Rat{r(-1, 1)}, LE, r(-3, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(3, 1)) != 0 {
+		t.Fatalf("sol = %v, want 3", sol)
+	}
+}
+
+func TestSolveLPFractionalOptimum(t *testing.T) {
+	// maximize x + y s.t. 2x + y <= 3, x + 2y <= 3 -> x=y=1 obj 2; with
+	// rationals: try maximize x+2y under same: optimum at (1,1)? Vertices:
+	// (0,3/2) obj 3, (3/2,0) obj 3/2, (1,1) obj 3. Use obj x+2y -> 3 at
+	// (0,3/2).
+	p := NewMaximize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddVar("y", r(2, 1), false)
+	p.AddConstraint("c1", []*big.Rat{r(2, 1), r(1, 1)}, LE, r(3, 1))
+	p.AddConstraint("c2", []*big.Rat{r(1, 1), r(2, 1)}, LE, r(3, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(3, 1)) != 0 {
+		t.Fatalf("sol = %v, want 3", sol)
+	}
+}
+
+func TestSolveILPKnapsackLike(t *testing.T) {
+	// maximize 5x + 4y s.t. 6x + 5y <= 10, integer -> candidates: x=1,y=0
+	// obj 5; x=0,y=2 obj 8. LP relaxation is fractional; ILP must find 8.
+	p := NewMaximize()
+	p.AddVar("x", r(5, 1), true)
+	p.AddVar("y", r(4, 1), true)
+	p.AddConstraint("w", []*big.Rat{r(6, 1), r(5, 1)}, LE, r(10, 1))
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(8, 1)) != 0 {
+		t.Fatalf("sol = %v, want 8", sol)
+	}
+	if !sol.X[0].IsInt() || !sol.X[1].IsInt() {
+		t.Errorf("non-integral solution %v", sol)
+	}
+}
+
+func TestSolveILPEqualsLPWhenIntegral(t *testing.T) {
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), true)
+	p.AddConstraint("lo", []*big.Rat{r(1, 1)}, GE, r(7, 1))
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(r(7, 1)) != 0 {
+		t.Fatalf("obj = %v, want 7", sol.Objective)
+	}
+}
+
+func TestSolveILPInfeasible(t *testing.T) {
+	// 2x == 3 with x integer: LP feasible (x=3/2) but no integer point in
+	// [1,2] satisfies equality.
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), true)
+	p.AddConstraint("eq", []*big.Rat{r(2, 1)}, EQ, r(3, 1))
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveILPMixedInteger(t *testing.T) {
+	// minimize x + y, x integer, y continuous; x + y >= 5/2, x >= y.
+	// Best: y = x, 2x >= 5/2 -> x >= 5/4 -> x = 2? With x integer and y free:
+	// minimize x+y with y >= 5/2 - x and y >= 0 and x >= y:
+	// x=2: y >= 1/2, y <= 2 -> y=1/2, obj 5/2. x=1: y>=3/2 but y<=1 infeasible.
+	// x=3: y>=0 -> obj 3. So best 5/2.
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), true)
+	p.AddVar("y", r(1, 1), false)
+	p.AddConstraint("sum", []*big.Rat{r(1, 1), r(1, 1)}, GE, r(5, 2))
+	p.AddConstraint("ord", []*big.Rat{r(-1, 1), r(1, 1)}, LE, r(0, 1))
+	sol, err := p.SolveILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(5, 2)) != 0 {
+		t.Fatalf("sol = %v, want 5/2", sol)
+	}
+}
+
+func TestNoVars(t *testing.T) {
+	if _, err := NewMinimize().SolveLP(); err != ErrNoVars {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewMinimize().SolveILP(); err != ErrNoVars {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := NewMinimize()
+	p.AddVar("x", r(1, 1), true)
+	p.AddConstraint("c", []*big.Rat{r(2, 1)}, GE, r(4, 1))
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	sol, _ := p.SolveILP()
+	if sol.String() == "" {
+		t.Fatal("empty solution String()")
+	}
+	inf := &Solution{Status: Infeasible}
+	if inf.String() != "infeasible" {
+		t.Errorf("String = %q", inf.String())
+	}
+}
+
+// TestILPMatchesBruteForce is a property test: random small bounded ILPs are
+// solved by branch and bound and by exhaustive enumeration; results agree.
+func TestILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		nv := 2 + rng.Intn(2)
+		ub := int64(6)
+		p := NewMinimize()
+		if rng.Intn(2) == 0 {
+			p = NewMaximize()
+		}
+		objs := make([]int64, nv)
+		for i := 0; i < nv; i++ {
+			objs[i] = int64(rng.Intn(11) - 5)
+			p.AddVar("v", r(objs[i], 1), true)
+		}
+		// Upper bounds keep everything finite.
+		for i := 0; i < nv; i++ {
+			coef := make([]*big.Rat, nv)
+			for j := range coef {
+				coef[j] = r(0, 1)
+			}
+			coef[i] = r(1, 1)
+			p.AddConstraint("ub", coef, LE, r(ub, 1))
+		}
+		nc := 1 + rng.Intn(3)
+		type rawCon struct {
+			coef []int64
+			rel  Rel
+			rhs  int64
+		}
+		var raws []rawCon
+		for k := 0; k < nc; k++ {
+			rc := rawCon{coef: make([]int64, nv), rel: Rel(rng.Intn(2)), rhs: int64(rng.Intn(21) - 5)}
+			coef := make([]*big.Rat, nv)
+			for j := 0; j < nv; j++ {
+				rc.coef[j] = int64(rng.Intn(7) - 3)
+				coef[j] = r(rc.coef[j], 1)
+			}
+			raws = append(raws, rc)
+			p.AddConstraint("c", coef, rc.rel, r(rc.rhs, 1))
+		}
+
+		// Brute force.
+		var bestObj *int64
+		var enumerate func(i int, x []int64)
+		enumerate = func(i int, x []int64) {
+			if i == nv {
+				for _, rc := range raws {
+					var lhs int64
+					for j := 0; j < nv; j++ {
+						lhs += rc.coef[j] * x[j]
+					}
+					switch rc.rel {
+					case LE:
+						if lhs > rc.rhs {
+							return
+						}
+					case GE:
+						if lhs < rc.rhs {
+							return
+						}
+					}
+				}
+				var obj int64
+				for j := 0; j < nv; j++ {
+					obj += objs[j] * x[j]
+				}
+				if bestObj == nil ||
+					(p.Minimize && obj < *bestObj) ||
+					(!p.Minimize && obj > *bestObj) {
+					v := obj
+					bestObj = &v
+				}
+				return
+			}
+			for v := int64(0); v <= ub; v++ {
+				x[i] = v
+				enumerate(i+1, x)
+			}
+		}
+		enumerate(0, make([]int64, nv))
+
+		sol, err := p.SolveILP()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p)
+		}
+		if bestObj == nil {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: brute force infeasible, solver %v\n%s", trial, sol, p)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: brute force obj %d, solver status %v\n%s", trial, *bestObj, sol.Status, p)
+		}
+		if sol.Objective.Cmp(r(*bestObj, 1)) != 0 {
+			t.Fatalf("trial %d: brute force obj %d, solver %v\n%s", trial, *bestObj, sol, p)
+		}
+	}
+}
+
+func TestSimplexBlandAvoidsBealeCycle(t *testing.T) {
+	// Beale's classic cycling example: Dantzig's largest-coefficient rule
+	// cycles forever on this LP; Bland's rule must terminate at the optimum
+	// -1/20 (x6 = 1).
+	p := NewMinimize()
+	p.AddVar("x4", r(-3, 4), false)
+	p.AddVar("x5", r(150, 1), false)
+	p.AddVar("x6", r(-1, 50), false)
+	p.AddVar("x7", r(6, 1), false)
+	p.AddConstraint("r1", []*big.Rat{r(1, 4), r(-60, 1), r(-1, 25), r(9, 1)}, LE, r(0, 1))
+	p.AddConstraint("r2", []*big.Rat{r(1, 2), r(-90, 1), r(-1, 50), r(3, 1)}, LE, r(0, 1))
+	p.AddConstraint("r3", []*big.Rat{r(0, 1), r(0, 1), r(1, 1), r(0, 1)}, LE, r(1, 1))
+	done := make(chan *Solution, 1)
+	errc := make(chan error, 1)
+	go func() {
+		sol, err := p.SolveLP()
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- sol
+	}()
+	select {
+	case sol := <-done:
+		if sol.Status != Optimal {
+			t.Fatalf("status = %v", sol.Status)
+		}
+		if sol.Objective.Cmp(r(-1, 20)) != 0 {
+			t.Fatalf("objective = %v, want -1/20", sol.Objective)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	}
+}
+
+func TestSimplexDegenerateProblem(t *testing.T) {
+	// Multiple constraints active at the optimum (degenerate vertex).
+	p := NewMaximize()
+	p.AddVar("x", r(1, 1), false)
+	p.AddVar("y", r(1, 1), false)
+	p.AddConstraint("c1", []*big.Rat{r(1, 1), r(0, 1)}, LE, r(2, 1))
+	p.AddConstraint("c2", []*big.Rat{r(1, 1), r(1, 1)}, LE, r(2, 1))
+	p.AddConstraint("c3", []*big.Rat{r(2, 1), r(1, 1)}, LE, r(4, 1))
+	sol, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective.Cmp(r(2, 1)) != 0 {
+		t.Fatalf("sol = %v, want 2", sol)
+	}
+}

@@ -1,0 +1,268 @@
+package ilp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// tableau is a dense two-phase simplex tableau over exact rationals.
+//
+// Layout: rows are constraints in equality form A·x = b with b ≥ 0 after
+// slack/surplus/artificial augmentation. Column order:
+//
+//	[structural vars | slack+surplus vars | artificial vars | rhs]
+//
+// Bland's smallest-index pivoting rule guarantees termination.
+type tableau struct {
+	p             *Problem
+	m, n          int // rows, total columns excluding rhs
+	nStruct, nArt int
+	a             [][]*big.Rat // m rows, n+1 columns (last is rhs)
+	basis         []int        // basis[r] = column basic in row r
+	artCol        int          // first artificial column index
+}
+
+func rat(v int64) *big.Rat { return big.NewRat(v, 1) }
+
+func newTableau(p *Problem) (*tableau, error) {
+	nStruct := len(p.names)
+	m := len(p.cons)
+	// Count slack/surplus columns.
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.Rel != EQ {
+			nSlack++
+		}
+	}
+	t := &tableau{p: p, m: m, nStruct: nStruct}
+	t.artCol = nStruct + nSlack
+	t.nArt = 0
+
+	rows := make([][]*big.Rat, m)
+	basis := make([]int, m)
+	slackIdx := 0
+	type artNeed struct{ row int }
+	var arts []artNeed
+	for r, c := range p.cons {
+		row := make([]*big.Rat, t.artCol) // artificials appended later
+		for i := 0; i < t.artCol; i++ {
+			row[i] = new(big.Rat)
+		}
+		for i, v := range c.Coef {
+			row[i].Set(v)
+		}
+		rhs := new(big.Rat).Set(c.RHS)
+		rel := c.Rel
+		// Normalise to rhs >= 0.
+		if rhs.Sign() < 0 {
+			for i := range row {
+				row[i].Neg(row[i])
+			}
+			rhs.Neg(rhs)
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			rows[r] = row
+			col := nStruct + slackIdx
+			rows[r][col].SetInt64(1)
+			basis[r] = col
+			slackIdx++
+		case GE:
+			col := nStruct + slackIdx
+			row[col].SetInt64(-1) // surplus
+			slackIdx++
+			rows[r] = row
+			arts = append(arts, artNeed{row: r})
+			basis[r] = -1
+		case EQ:
+			rows[r] = row
+			arts = append(arts, artNeed{row: r})
+			basis[r] = -1
+		}
+		rows[r] = append(rows[r], rhs)
+	}
+	// Append artificial columns.
+	t.nArt = len(arts)
+	t.n = t.artCol + t.nArt
+	for r := range rows {
+		rhs := rows[r][len(rows[r])-1]
+		body := rows[r][:len(rows[r])-1]
+		for len(body) < t.n {
+			body = append(body, new(big.Rat))
+		}
+		rows[r] = append(body, rhs)
+	}
+	for i, an := range arts {
+		col := t.artCol + i
+		rows[an.row][col].SetInt64(1)
+		basis[an.row] = col
+	}
+	t.a = rows
+	t.basis = basis
+	return t, nil
+}
+
+// reducedCosts computes z_j - c_j for objective vector c (length n) given
+// the current basis, returning also the objective value.
+func (t *tableau) priceOut(c []*big.Rat) (reduced []*big.Rat, obj *big.Rat) {
+	// y = c_B applied to rows: since the tableau is kept in canonical form
+	// (basic columns are unit vectors), reduced cost of column j is
+	// c_j - Σ_r c_{basis[r]}·a[r][j], and obj = Σ_r c_{basis[r]}·b_r.
+	reduced = make([]*big.Rat, t.n)
+	obj = new(big.Rat)
+	for r := 0; r < t.m; r++ {
+		cb := c[t.basis[r]]
+		if cb.Sign() == 0 {
+			continue
+		}
+		obj.Add(obj, new(big.Rat).Mul(cb, t.a[r][t.n]))
+	}
+	for j := 0; j < t.n; j++ {
+		v := new(big.Rat).Set(c[j])
+		for r := 0; r < t.m; r++ {
+			cb := c[t.basis[r]]
+			if cb.Sign() == 0 || t.a[r][j].Sign() == 0 {
+				continue
+			}
+			v.Sub(v, new(big.Rat).Mul(cb, t.a[r][j]))
+		}
+		reduced[j] = v
+	}
+	return reduced, obj
+}
+
+func (t *tableau) pivot(r, j int) {
+	pv := new(big.Rat).Set(t.a[r][j])
+	inv := new(big.Rat).Inv(pv)
+	for k := 0; k <= t.n; k++ {
+		t.a[r][k].Mul(t.a[r][k], inv)
+	}
+	for i := 0; i < t.m; i++ {
+		if i == r || t.a[i][j].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(t.a[i][j])
+		for k := 0; k <= t.n; k++ {
+			if t.a[r][k].Sign() == 0 {
+				continue
+			}
+			t.a[i][k].Sub(t.a[i][k], new(big.Rat).Mul(f, t.a[r][k]))
+		}
+	}
+	t.basis[r] = j
+}
+
+// minimize runs simplex iterations minimising c·x from the current basis.
+// forbid marks columns that may not enter (used to keep artificials out in
+// phase 2). Returns false if unbounded.
+func (t *tableau) minimize(c []*big.Rat, forbid func(int) bool) bool {
+	for iter := 0; ; iter++ {
+		reduced, _ := t.priceOut(c)
+		// Bland: entering column = smallest index with negative reduced cost
+		// (for minimisation we need c_j - z_j < 0, i.e. reduced > 0 under the
+		// z_j - c_j convention; we computed c_j - Σ..., so enter when < 0).
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if forbid != nil && forbid(j) {
+				continue
+			}
+			if reduced[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		// Ratio test with Bland tie-break on smallest basis index.
+		leave := -1
+		var best *big.Rat
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter].Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(t.a[r][t.n], t.a[r][enter])
+			if leave == -1 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[r] < t.basis[leave]) {
+				leave, best = r, ratio
+			}
+		}
+		if leave == -1 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) solve() (*Solution, error) {
+	// Phase 1: minimise the sum of artificials.
+	if t.nArt > 0 {
+		c1 := make([]*big.Rat, t.n)
+		for j := range c1 {
+			c1[j] = new(big.Rat)
+		}
+		for j := t.artCol; j < t.n; j++ {
+			c1[j] = rat(1)
+		}
+		if !t.minimize(c1, nil) {
+			return nil, fmt.Errorf("ilp: phase-1 unbounded (internal error)")
+		}
+		_, obj := t.priceOut(c1)
+		if obj.Sign() != 0 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial out of the basis if possible.
+		for r := 0; r < t.m; r++ {
+			if t.basis[r] < t.artCol {
+				continue
+			}
+			moved := false
+			for j := 0; j < t.artCol; j++ {
+				if t.a[r][j].Sign() != 0 {
+					t.pivot(r, j)
+					moved = true
+					break
+				}
+			}
+			if !moved && t.a[r][t.n].Sign() != 0 {
+				return &Solution{Status: Infeasible}, nil
+			}
+		}
+	}
+	// Phase 2.
+	c2 := make([]*big.Rat, t.n)
+	for j := range c2 {
+		c2[j] = new(big.Rat)
+	}
+	sign := int64(1)
+	if !t.p.Minimize {
+		sign = -1
+	}
+	for i, v := range t.p.obj {
+		c2[i] = new(big.Rat).Mul(rat(sign), v)
+	}
+	forbid := func(j int) bool { return j >= t.artCol }
+	if !t.minimize(c2, forbid) {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]*big.Rat, t.nStruct)
+	for i := range x {
+		x[i] = new(big.Rat)
+	}
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.nStruct {
+			x[t.basis[r]].Set(t.a[r][t.n])
+		}
+	}
+	obj := new(big.Rat)
+	for i, v := range t.p.obj {
+		obj.Add(obj, new(big.Rat).Mul(v, x[i]))
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}

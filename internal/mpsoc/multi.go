@@ -1,0 +1,257 @@
+package mpsoc
+
+// Multi-chain assembly: the paper's Fig. 1 shows TWO entry/exit-gateway
+// pairs (G0/G1 and G2/G3), each managing its own set of accelerator tiles
+// on the shared dual ring. BuildMulti constructs any number of such chains
+// on one interconnect; Build (single chain) delegates here.
+
+import (
+	"fmt"
+
+	"accelshare/internal/accel"
+	"accelshare/internal/cfifo"
+	"accelshare/internal/gateway"
+	"accelshare/internal/ring"
+	"accelshare/internal/sim"
+)
+
+// ChainSpec groups one gateway pair with its accelerators and streams.
+type ChainSpec struct {
+	Name                string
+	EntryCost, ExitCost sim.Time
+	Mode                gateway.ReconfigMode
+	Arbiter             gateway.Arbitration
+	BusBase, BusPerWord sim.Time
+	DisableSpaceCheck   bool
+	Accels              []AccelSpec
+	Streams             []StreamSpec
+}
+
+// MultiConfig assembles a platform with several shared chains on one ring.
+type MultiConfig struct {
+	Name              string
+	HopLatency        sim.Time
+	RecordOutputTimes bool
+	RecordActivity    bool
+	// UseSlottedRing backs the interconnect with the cycle-true slotted
+	// mechanism instead of the transaction-level abstraction (slower to
+	// simulate, validates the abstraction at system level).
+	UseSlottedRing bool
+	Chains         []ChainSpec
+}
+
+// Chain is the runtime state of one assembled chain.
+type Chain struct {
+	Spec  ChainSpec
+	Pair  *gateway.Pair
+	Tiles []*accel.Tile
+	Strs  []*Stream
+}
+
+// MultiSystem is a platform with several gateway pairs.
+type MultiSystem struct {
+	K      *sim.Kernel
+	Net    *ring.Dual
+	Chains []*Chain
+}
+
+// BuildMulti assembles the multi-chain platform. Ring node layout per
+// chain: entry gateway, accelerator tiles, exit gateway; then one source
+// and one sink tile per stream, all chains concatenated.
+func BuildMulti(cfg MultiConfig) (*MultiSystem, error) {
+	if len(cfg.Chains) == 0 {
+		return nil, fmt.Errorf("mpsoc: no chains")
+	}
+	// First pass: compute the ring size.
+	total := 0
+	for _, ch := range cfg.Chains {
+		if len(ch.Accels) == 0 {
+			return nil, fmt.Errorf("mpsoc: chain %q has no accelerators", ch.Name)
+		}
+		if len(ch.Streams) == 0 {
+			return nil, fmt.Errorf("mpsoc: chain %q has no streams", ch.Name)
+		}
+		total += 2 + len(ch.Accels) + 2*len(ch.Streams)
+	}
+	k := sim.NewKernel()
+	var net *ring.Dual
+	var err error
+	if cfg.UseSlottedRing {
+		net, err = ring.NewDualSlotted(k, total)
+	} else {
+		net, err = ring.NewDual(k, total, cfg.HopLatency)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ms := &MultiSystem{K: k, Net: net}
+	next := 0
+	for ci := range cfg.Chains {
+		ch, err := assembleChain(k, net, cfg, cfg.Chains[ci], &next)
+		if err != nil {
+			return nil, fmt.Errorf("chain %q: %w", cfg.Chains[ci].Name, err)
+		}
+		ms.Chains = append(ms.Chains, ch)
+	}
+	return ms, nil
+}
+
+const (
+	portData   = 1
+	portCredit = 1
+	portIdle   = 7
+)
+
+// assembleChain wires one gateway pair and its streams, consuming ring
+// nodes from *next.
+func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpec, next *int) (*Chain, error) {
+	take := func() int { n := *next; *next++; return n }
+	entryN := take()
+	var accelN []int
+	for range spec.Accels {
+		accelN = append(accelN, take())
+	}
+	exitN := take()
+
+	ch := &Chain{Spec: spec}
+	for _, as := range spec.Accels {
+		ni := as.NICapacity
+		if ni == 0 {
+			ni = 2
+		}
+		ch.Tiles = append(ch.Tiles, accel.NewTile(as.Name, k, as.Cost, ni))
+	}
+	entryLink := accel.NewLink("entry->"+spec.Accels[0].Name, k, net,
+		entryN, accelN[0], portData, portCredit, ch.Tiles[0].In())
+	for i := 0; i+1 < len(ch.Tiles); i++ {
+		l := accel.NewLink(fmt.Sprintf("%s->%s", spec.Accels[i].Name, spec.Accels[i+1].Name), k, net,
+			accelN[i], accelN[i+1], portData, portCredit, ch.Tiles[i+1].In())
+		ch.Tiles[i].SetDownstream(l)
+	}
+	exitNI := sim.NewQueue(spec.Name+".exit.ni", 2)
+	lastLink := accel.NewLink(spec.Accels[len(spec.Accels)-1].Name+"->exit", k, net,
+		accelN[len(accelN)-1], exitN, portData, portCredit, exitNI)
+	ch.Tiles[len(ch.Tiles)-1].SetDownstream(lastLink)
+
+	pair, err := gateway.NewPair(k, net, gateway.Config{
+		Name:              spec.Name,
+		EntryNode:         entryN,
+		ExitNode:          exitN,
+		EntryCost:         spec.EntryCost,
+		ExitCost:          spec.ExitCost,
+		Mode:              spec.Mode,
+		Arbiter:           spec.Arbiter,
+		BusBase:           spec.BusBase,
+		BusPerWord:        spec.BusPerWord,
+		IdlePort:          portIdle,
+		RecordOutputTimes: top.RecordOutputTimes,
+		RecordActivity:    top.RecordActivity,
+		DisableSpaceCheck: spec.DisableSpaceCheck,
+	}, ch.Tiles, entryLink, exitNI)
+	if err != nil {
+		return nil, err
+	}
+	ch.Pair = pair
+
+	for i := range spec.Streams {
+		ss := spec.Streams[i]
+		srcN := take()
+		sinkN := take()
+		if ss.Decimation < 1 {
+			ss.Decimation = 1
+		}
+		if ss.Block%ss.Decimation != 0 {
+			return nil, fmt.Errorf("stream %q block %d not a multiple of decimation %d",
+				ss.Name, ss.Block, ss.Decimation)
+		}
+		in, err := cfifo.New(k, net, cfifo.Config{
+			Name: ss.Name + ".in", Capacity: ss.InCapacity,
+			ProducerNode: srcN, ConsumerNode: entryN,
+			DataPort: 100 + i, AckPort: 100 + i,
+			AckBatch: ackBatch(ss.InCapacity),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := cfifo.New(k, net, cfifo.Config{
+			Name: ss.Name + ".out", Capacity: ss.OutCapacity,
+			ProducerNode: exitN, ConsumerNode: sinkN,
+			DataPort: 100 + i, AckPort: 200 + i,
+			AckBatch: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := &Stream{Spec: ss, In: in, Out: out}
+		st.GW = &gateway.Stream{
+			Name:     ss.Name,
+			Block:    ss.Block,
+			OutBlock: ss.Block / ss.Decimation,
+			Reconfig: ss.Reconfig,
+			In:       in,
+			Out:      out,
+			Engines:  ss.Engines,
+		}
+		if err := pair.AddStream(st.GW); err != nil {
+			return nil, err
+		}
+		ch.Strs = append(ch.Strs, st)
+		if !ss.ExternalSource {
+			startSourceTask(k, st)
+		}
+		if !ss.ExternalSink {
+			startSinkTask(k, st)
+		}
+	}
+	return ch, nil
+}
+
+// Run starts every gateway pair and advances the simulation.
+func (m *MultiSystem) Run(horizon sim.Time) {
+	for _, ch := range m.Chains {
+		ch.Pair.Start()
+	}
+	m.K.Run(horizon)
+}
+
+// Report collects per-chain measurements.
+func (m *MultiSystem) Report() []Report {
+	var out []Report
+	for _, ch := range m.Chains {
+		out = append(out, chainReport(m.K, ch))
+	}
+	return out
+}
+
+func chainReport(k *sim.Kernel, ch *Chain) Report {
+	total, rec, str := ch.Pair.Busy()
+	r := Report{Cycles: total, ReconfigCycles: rec, StreamingCycles: str}
+	busy := float64(rec + str)
+	if busy > 0 {
+		r.StreamingShare = float64(str) / busy
+		r.ReconfigShare = float64(rec) / busy
+	}
+	for i, st := range ch.Strs {
+		sr := StreamReport{
+			Name:          st.GW.Name,
+			Blocks:        st.GW.Blocks,
+			SamplesIn:     st.GW.SamplesIn,
+			SamplesOut:    st.GW.SamplesOut,
+			Overflows:     st.Overflows,
+			MaxTurnaround: st.GW.MaxTurnaround,
+			PendingWait:   ch.Pair.PendingWait(i),
+		}
+		if total > 0 {
+			sr.OutputRate = float64(st.GW.SamplesOut) / float64(total)
+		}
+		r.PerStream = append(r.PerStream, sr)
+	}
+	for _, t := range ch.Tiles {
+		if total > 0 {
+			r.TileBusy = append(r.TileBusy, float64(t.BusyCycles)/float64(total))
+		} else {
+			r.TileBusy = append(r.TileBusy, 0)
+		}
+	}
+	return r
+}

@@ -1,0 +1,132 @@
+package mpsoc
+
+import (
+	"testing"
+
+	"accelshare/internal/accel"
+	"accelshare/internal/gateway"
+	"accelshare/internal/sim"
+)
+
+func twoChainConfig() MultiConfig {
+	mkStream := func(name string, block int64, total uint64) StreamSpec {
+		return StreamSpec{
+			Name: name, Block: block, Decimation: 1, Reconfig: 50,
+			InCapacity: int(4 * block), OutCapacity: int(4 * block),
+			Engines:        []accel.Engine{&accel.Gain{Shift: 1}},
+			TotalInputs:    total,
+			CollectOutputs: true,
+		}
+	}
+	return MultiConfig{
+		Name:       "fig1",
+		HopLatency: 1,
+		Chains: []ChainSpec{
+			{
+				Name: "g0g1", EntryCost: 3, ExitCost: 1, Mode: gateway.ReconfigFixed,
+				Accels:  []AccelSpec{{Name: "acc0", Cost: 1, NICapacity: 2}},
+				Streams: []StreamSpec{mkStream("a0", 8, 128), mkStream("a1", 8, 128)},
+			},
+			{
+				Name: "g2g3", EntryCost: 5, ExitCost: 1, Mode: gateway.ReconfigFixed,
+				Accels: []AccelSpec{
+					{Name: "acc1", Cost: 2, NICapacity: 2},
+					{Name: "acc2", Cost: 1, NICapacity: 2},
+				},
+				Streams: []StreamSpec{func() StreamSpec {
+					s := mkStream("b0", 16, 256)
+					// Two-tile chain: gain on the first, passthrough after.
+					s.Engines = []accel.Engine{&accel.Gain{Shift: 1}, accel.Passthrough{}}
+					return s
+				}()},
+			},
+		},
+	}
+}
+
+func TestBuildMultiValidation(t *testing.T) {
+	if _, err := BuildMulti(MultiConfig{}); err == nil {
+		t.Error("no chains accepted")
+	}
+	cfg := twoChainConfig()
+	cfg.Chains[0].Accels = nil
+	if _, err := BuildMulti(cfg); err == nil {
+		t.Error("chain without accelerators accepted")
+	}
+	cfg = twoChainConfig()
+	cfg.Chains[1].Streams = nil
+	if _, err := BuildMulti(cfg); err == nil {
+		t.Error("chain without streams accepted")
+	}
+}
+
+func TestTwoChainsOnOneRing(t *testing.T) {
+	// The Fig. 1 architecture: two independent gateway pairs on one dual
+	// ring, running concurrently.
+	ms, err := BuildMulti(twoChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Run(2_000_000)
+	reps := ms.Report()
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	if reps[0].PerStream[0].SamplesOut != 128 || reps[0].PerStream[1].SamplesOut != 128 {
+		t.Errorf("chain 0 outputs: %+v", reps[0].PerStream)
+	}
+	if reps[1].PerStream[0].SamplesOut != 256 {
+		t.Errorf("chain 1 outputs: %+v", reps[1].PerStream)
+	}
+	// Functional integrity through separate chains.
+	for _, ch := range ms.Chains {
+		for _, st := range ch.Strs {
+			for n, w := range st.Outputs {
+				oi, _ := sim.UnpackIQ(w)
+				ii, _ := sim.UnpackIQ(sim.Word(uint64(n)))
+				if oi != ii<<1 {
+					t.Fatalf("chain %s stream %s output %d corrupted", ch.Spec.Name, st.GW.Name, n)
+				}
+			}
+		}
+	}
+}
+
+func TestChainsAreTemporallyIndependent(t *testing.T) {
+	// Chain 1's results must be identical whether chain 0 exists or not
+	// (separate gateways, separate accelerators; the ring is dimensioned
+	// for both). This is the paper's multi-application deployment story.
+	solo := MultiConfig{
+		Name:       "solo",
+		HopLatency: 1,
+		Chains:     []ChainSpec{twoChainConfig().Chains[1]},
+	}
+	msSolo, err := BuildMulti(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msSolo.Run(2_000_000)
+	soloRep := msSolo.Report()[0]
+
+	msBoth, err := BuildMulti(twoChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msBoth.Run(2_000_000)
+	bothRep := msBoth.Report()[1]
+
+	if soloRep.PerStream[0].SamplesOut != bothRep.PerStream[0].SamplesOut {
+		t.Errorf("sample counts differ: solo %d vs both %d",
+			soloRep.PerStream[0].SamplesOut, bothRep.PerStream[0].SamplesOut)
+	}
+	if soloRep.PerStream[0].Blocks != bothRep.PerStream[0].Blocks {
+		t.Errorf("block counts differ: solo %d vs both %d",
+			soloRep.PerStream[0].Blocks, bothRep.PerStream[0].Blocks)
+	}
+	// Turnarounds may differ slightly through ring hop distances (node
+	// indices shift), but must stay in the same ballpark.
+	s, b := soloRep.PerStream[0].MaxTurnaround, bothRep.PerStream[0].MaxTurnaround
+	if b > 2*s+100 {
+		t.Errorf("turnaround degraded from %d to %d with a second chain", s, b)
+	}
+}

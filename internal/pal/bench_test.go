@@ -1,0 +1,21 @@
+package pal
+
+import "testing"
+
+func BenchmarkFrontendSample(b *testing.B) {
+	fe := NewFrontend(DefaultParams())
+	for i := 0; i < b.N; i++ {
+		fe.Sample(uint64(i))
+	}
+}
+
+func BenchmarkGoertzel(b *testing.B) {
+	x := make([]int32, 4096)
+	for i := range x {
+		x[i] = int32(i % 1000)
+	}
+	b.SetBytes(int64(len(x) * 4))
+	for i := 0; i < b.N; i++ {
+		GoertzelPower(x, 1000, 44100)
+	}
+}

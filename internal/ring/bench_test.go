@@ -1,0 +1,52 @@
+package ring
+
+import (
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+func BenchmarkRingWordThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	r, err := New(k, Config{Nodes: 8, HopLatency: 1, Direction: Clockwise, InjectionDepth: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	received := 0
+	r.Node(4).Bind(0, func(Message) { received++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !r.Node(0).TrySend(4, 0, sim.Word(i)) {
+			k.RunAll()
+		}
+	}
+	k.RunAll()
+	if received != b.N {
+		b.Fatalf("received %d of %d", received, b.N)
+	}
+}
+
+func BenchmarkDualRingCreditLoop(b *testing.B) {
+	k := sim.NewKernel()
+	d, err := NewDual(k, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Data.Node(1).Bind(0, func(m Message) {
+		// bounce a credit back
+		d.Credit.Node(1).TrySend(0, 0, 1)
+	})
+	credits := 0
+	d.Credit.Node(0).Bind(0, func(Message) { credits++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !d.Data.Node(0).TrySend(1, 0, 0) {
+			k.RunAll()
+		}
+	}
+	k.RunAll()
+	if credits == 0 {
+		b.Fatal("no credits returned")
+	}
+}

@@ -1,0 +1,249 @@
+// Package ring models the low-cost guaranteed-throughput dual-ring
+// interconnect of Dekens et al. (DASIP'13/'14) that the paper's
+// architecture is built on: a unidirectional slotted data ring carrying
+// posted writes, plus a second ring rotating in the opposite direction that
+// carries flow-control credits for hardware-FIFO communication.
+//
+// The model is transaction-level but cycle-accounted: each node may inject
+// at most one word per slot period, and a word addressed to a tile d hops
+// away is delivered exactly d·hopLatency cycles after injection. Posted
+// writes complete for the producer upon acceptance by the interconnect;
+// delivery is lossless and the destination always accepts (the "guaranteed
+// acceptance" property the paper relies on to avoid hardware flow control
+// toward memories).
+package ring
+
+import (
+	"fmt"
+
+	"accelshare/internal/sim"
+)
+
+// Direction of rotation. The data ring rotates clockwise and the credit
+// ring counter-clockwise, as in the paper's Fig. 1.
+type Direction int
+
+// Rotation directions.
+const (
+	Clockwise Direction = iota
+	CounterClockwise
+)
+
+// Config parameterises a ring.
+type Config struct {
+	Name string
+	// Nodes is the number of tile attachment points.
+	Nodes int
+	// HopLatency is the cycles one word needs to advance one node.
+	HopLatency sim.Time
+	// SlotPeriod is the minimum spacing in cycles between two injections at
+	// the same node (1 = full rate, matching one 32/64-bit word per cycle).
+	SlotPeriod sim.Time
+	// InjectionDepth is the per-node injection buffer in words.
+	InjectionDepth int
+	Direction      Direction
+}
+
+// Message is one word addressed to a port on a destination node.
+type Message struct {
+	Src, Dst int
+	Port     int
+	W        sim.Word
+}
+
+// Port is one tile attachment point of an interconnect, the interface the
+// platform components (links, C-FIFOs, gateways) are written against.
+type Port interface {
+	// TrySend posts a word to (dst, port); false = injection buffer full.
+	TrySend(dst, port int, w sim.Word) bool
+	// Bind registers the delivery handler for a local port id.
+	Bind(port int, fn func(Message))
+	// SubscribeSpace wakes w when injection space frees.
+	SubscribeSpace(w *sim.Waker)
+	// Free reports available injection-buffer slots.
+	Free() int
+}
+
+// Transport is an interconnect with addressable ports: implemented by the
+// transaction-level Ring and by the cycle-true Slotted ring, so the whole
+// platform can run on either.
+type Transport interface {
+	Node(i int) Port
+	Nodes() int
+	// DeliveredWords counts words the transport has carried.
+	DeliveredWords() uint64
+}
+
+// Ring is one unidirectional slotted ring.
+type Ring struct {
+	cfg   Config
+	k     *sim.Kernel
+	nodes []*Node
+
+	// Words counts delivered messages; HopCycles accumulates distance for
+	// utilisation accounting.
+	Words     uint64
+	HopCycles uint64
+}
+
+// Node is one attachment point with an injection buffer and registered
+// delivery ports.
+type Node struct {
+	r        *Ring
+	idx      int
+	inj      []Message
+	nextSlot sim.Time
+	ports    map[int]func(Message)
+	space    []*sim.Waker
+	pumping  bool
+}
+
+// New builds a ring on the kernel.
+func New(k *sim.Kernel, cfg Config) (*Ring, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("ring: need at least one node")
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 1
+	}
+	if cfg.SlotPeriod == 0 {
+		cfg.SlotPeriod = 1
+	}
+	if cfg.InjectionDepth == 0 {
+		cfg.InjectionDepth = 4
+	}
+	r := &Ring{cfg: cfg, k: k}
+	for i := 0; i < cfg.Nodes; i++ {
+		r.nodes = append(r.nodes, &Node{r: r, idx: i, ports: map[int]func(Message){}})
+	}
+	return r, nil
+}
+
+// Node returns attachment point i.
+func (r *Ring) Node(i int) Port { return r.nodes[i] }
+
+// DeliveredWords counts carried words (Transport interface).
+func (r *Ring) DeliveredWords() uint64 { return r.Words }
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return r.cfg.Nodes }
+
+// Distance returns the hop count from src to dst in this ring's rotation
+// direction.
+func (r *Ring) Distance(src, dst int) int {
+	n := r.cfg.Nodes
+	var d int
+	if r.cfg.Direction == Clockwise {
+		d = (dst - src) % n
+	} else {
+		d = (src - dst) % n
+	}
+	if d < 0 {
+		d += n
+	}
+	if d == 0 && src != dst {
+		d = n
+	}
+	return d
+}
+
+// Bind registers the delivery handler for a port on this node. Handlers
+// must always accept (guaranteed acceptance).
+func (n *Node) Bind(port int, fn func(Message)) {
+	if _, dup := n.ports[port]; dup {
+		panic(fmt.Sprintf("ring: node %d port %d bound twice", n.idx, port))
+	}
+	n.ports[port] = fn
+}
+
+// SubscribeSpace wakes w whenever injection space frees up.
+func (n *Node) SubscribeSpace(w *sim.Waker) { n.space = append(n.space, w) }
+
+// Free returns the available injection-buffer slots.
+func (n *Node) Free() int { return n.r.cfg.InjectionDepth - len(n.inj) }
+
+// TrySend posts a write of word w to (dst, port). It reports false when the
+// injection buffer is full — the caller retries on a space wake-up. A
+// successful TrySend is a completed posted write from the producer's
+// perspective.
+func (n *Node) TrySend(dst, port int, w sim.Word) bool {
+	if len(n.inj) >= n.r.cfg.InjectionDepth {
+		return false
+	}
+	n.inj = append(n.inj, Message{Src: n.idx, Dst: dst, Port: port, W: w})
+	n.pump()
+	return true
+}
+
+// pump drains the injection buffer at the slot rate.
+func (n *Node) pump() {
+	if n.pumping || len(n.inj) == 0 {
+		return
+	}
+	k := n.r.k
+	start := k.Now()
+	if n.nextSlot > start {
+		start = n.nextSlot
+	}
+	n.pumping = true
+	k.ScheduleAt(start, func() {
+		n.pumping = false
+		if len(n.inj) == 0 {
+			return
+		}
+		m := n.inj[0]
+		n.inj = n.inj[1:]
+		n.nextSlot = k.Now() + n.r.cfg.SlotPeriod
+		hops := n.r.Distance(m.Src, m.Dst)
+		lat := sim.Time(hops) * n.r.cfg.HopLatency
+		n.r.Words++
+		n.r.HopCycles += uint64(lat)
+		dst := n.r.nodes[m.Dst]
+		k.Schedule(lat, func() {
+			h, ok := dst.ports[m.Port]
+			if !ok {
+				panic(fmt.Sprintf("ring: node %d has no port %d (from node %d)", m.Dst, m.Port, m.Src))
+			}
+			h(m)
+		})
+		for _, w := range n.space {
+			w.Wake()
+		}
+		n.pump()
+	})
+}
+
+// Dual couples a clockwise data ring with a counter-clockwise credit ring,
+// the architecture's interconnect. The members are Transport so either the
+// transaction-level or the cycle-true slotted implementation can back them.
+type Dual struct {
+	Data   Transport
+	Credit Transport
+}
+
+// NewDual builds the two rings with shared geometry.
+func NewDual(k *sim.Kernel, nodes int, hopLatency sim.Time) (*Dual, error) {
+	d, err := New(k, Config{Name: "data", Nodes: nodes, HopLatency: hopLatency, Direction: Clockwise})
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(k, Config{Name: "credit", Nodes: nodes, HopLatency: hopLatency, Direction: CounterClockwise})
+	if err != nil {
+		return nil, err
+	}
+	return &Dual{Data: d, Credit: c}, nil
+}
+
+// NewDualSlotted builds the interconnect on the cycle-true slotted
+// mechanism instead of the transaction-level abstraction.
+func NewDualSlotted(k *sim.Kernel, nodes int) (*Dual, error) {
+	d, err := NewSlotted(k, SlottedConfig{Name: "data", Nodes: nodes, Direction: Clockwise})
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewSlotted(k, SlottedConfig{Name: "credit", Nodes: nodes, Direction: CounterClockwise})
+	if err != nil {
+		return nil, err
+	}
+	return &Dual{Data: d, Credit: c}, nil
+}

@@ -1,0 +1,168 @@
+package ring
+
+import (
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+func TestDistance(t *testing.T) {
+	k := sim.NewKernel()
+	cw, err := New(k, Config{Nodes: 6, Direction: Clockwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccw, _ := New(k, Config{Nodes: 6, Direction: CounterClockwise})
+	if d := cw.Distance(0, 3); d != 3 {
+		t.Errorf("cw 0->3 = %d", d)
+	}
+	if d := cw.Distance(4, 1); d != 3 {
+		t.Errorf("cw 4->1 = %d (wrap)", d)
+	}
+	if d := ccw.Distance(0, 3); d != 3 {
+		t.Errorf("ccw 0->3 = %d (other way: 6-3)", d)
+	}
+	if d := ccw.Distance(1, 4); d != 3 {
+		t.Errorf("ccw 1->4 = %d", d)
+	}
+	if d := cw.Distance(2, 2); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 4, HopLatency: 3, Direction: Clockwise})
+	var got []sim.Time
+	r.Node(2).Bind(1, func(m Message) { got = append(got, k.Now()) })
+	if !r.Node(0).TrySend(2, 1, 7) {
+		t.Fatal("send rejected")
+	}
+	k.RunAll()
+	// Injection at t=0, 2 hops x 3 cycles = delivery at 6.
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("delivery times = %v, want [6]", got)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 4, HopLatency: 1, Direction: Clockwise, InjectionDepth: 8})
+	var words []sim.Word
+	r.Node(1).Bind(0, func(m Message) { words = append(words, m.W) })
+	for i := 0; i < 5; i++ {
+		if !r.Node(0).TrySend(1, 0, sim.Word(i)) {
+			t.Fatal("send rejected")
+		}
+	}
+	k.RunAll()
+	for i, w := range words {
+		if w != sim.Word(i) {
+			t.Fatalf("out of order: %v", words)
+		}
+	}
+	if len(words) != 5 {
+		t.Fatalf("delivered %d", len(words))
+	}
+}
+
+func TestSlotRateLimiting(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 2, HopLatency: 1, SlotPeriod: 4, Direction: Clockwise, InjectionDepth: 8})
+	var times []sim.Time
+	r.Node(1).Bind(0, func(m Message) { times = append(times, k.Now()) })
+	for i := 0; i < 3; i++ {
+		r.Node(0).TrySend(1, 0, 0)
+	}
+	k.RunAll()
+	// Injections at 0, 4, 8; +1 hop => deliveries at 1, 5, 9.
+	want := []sim.Time{1, 5, 9}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestInjectionBackpressure(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 2, SlotPeriod: 10, Direction: Clockwise, InjectionDepth: 2})
+	r.Node(1).Bind(0, func(Message) {})
+	n := r.Node(0)
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if n.TrySend(1, 0, 0) {
+			accepted++
+		}
+	}
+	// Depth 2, but the first send is picked up by the pump at t=0
+	// synchronously scheduled; acceptance is bounded by depth.
+	if accepted > 3 {
+		t.Fatalf("accepted %d with depth 2", accepted)
+	}
+	wakes := 0
+	n.SubscribeSpace(sim.NewWaker(k, func() { wakes++ }))
+	k.RunAll()
+	if wakes == 0 {
+		t.Error("no space wakeups while draining")
+	}
+}
+
+func TestUnboundPortPanics(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 2, Direction: Clockwise})
+	r.Node(0).TrySend(1, 9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound port")
+		}
+	}()
+	k.RunAll()
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 2, Direction: Clockwise})
+	r.Node(0).Bind(1, func(Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for double bind")
+		}
+	}()
+	r.Node(0).Bind(1, func(Message) {})
+}
+
+func TestDualRingDirections(t *testing.T) {
+	k := sim.NewKernel()
+	d, err := NewDual(k, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data 0->1 is 1 hop clockwise; credits 1->0 is 1 hop counter-clockwise.
+	dr := d.Data.(*Ring)
+	cr := d.Credit.(*Ring)
+	if dr.Distance(0, 1) != 1 {
+		t.Errorf("data 0->1 = %d", dr.Distance(0, 1))
+	}
+	if cr.Distance(1, 0) != 1 {
+		t.Errorf("credit 1->0 = %d", cr.Distance(1, 0))
+	}
+	// And the opposite directions are the long way around.
+	if dr.Distance(1, 0) != 4 {
+		t.Errorf("data 1->0 = %d", dr.Distance(1, 0))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	r, _ := New(k, Config{Nodes: 4, HopLatency: 2, Direction: Clockwise})
+	r.Node(3).Bind(0, func(Message) {})
+	r.Node(0).TrySend(3, 0, 0)
+	k.RunAll()
+	if r.Words != 1 {
+		t.Errorf("words = %d", r.Words)
+	}
+	if r.HopCycles != 6 { // 3 hops x 2 cycles
+		t.Errorf("hop cycles = %d", r.HopCycles)
+	}
+}

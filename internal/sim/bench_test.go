@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.Schedule(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Schedule(1, tick)
+	k.RunAll()
+	if n < b.N {
+		b.Fatal("did not run all events")
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := NewQueue("q", 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(Word(i))
+		q.TryPop()
+	}
+}
+
+func BenchmarkWakerWake(b *testing.B) {
+	k := NewKernel()
+	w := NewWaker(k, func() {})
+	for i := 0; i < b.N; i++ {
+		w.Wake()
+		k.RunAll()
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim is a deterministic discrete-event simulation kernel with a
+// cycle-granular clock. It underpins the cycle-level MPSoC model (ring
+// interconnect, tiles, gateways, accelerators) used to validate the paper's
+// dataflow bounds against "hardware".
+//
+// Determinism: events at equal times fire in scheduling order (a strictly
+// increasing sequence number breaks ties), no wall-clock time or randomness
+// is involved anywhere, and components are single-threaded state machines —
+// so every run of a given configuration produces the identical cycle-exact
+// history, immune to Go's GC and scheduler (the repro band's main concern).
+package sim
+
+import "container/heap"
+
+// Time is the simulation clock in cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Kernel owns the clock and the event queue.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events (for budget checks in tests).
+	Processed uint64
+}
+
+// NewKernel returns a kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay cycles (delay 0 = later in the same cycle).
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t (panics when t is in the past —
+// that is always a component bug).
+func (k *Kernel) ScheduleAt(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling into the past")
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// Pending reports whether any events remain.
+func (k *Kernel) Pending() bool { return len(k.events) > 0 }
+
+// Step executes the next event; it reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.Processed++
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or the next event lies
+// beyond `until`; the clock ends at min(until, last event time). Returns
+// the final time.
+func (k *Kernel) Run(until Time) Time {
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+	}
+	if k.now < until && len(k.events) > 0 {
+		k.now = until
+	} else if len(k.events) == 0 && k.now < until {
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll processes every event. Componentized models that reschedule
+// themselves forever must use Run with a horizon instead.
+func (k *Kernel) RunAll() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// Waker coalesces wake-up requests for a component's step function: any
+// number of Wake calls within one delta-cycle collapse into a single
+// invocation of fn at the current time. Components subscribe their Waker to
+// the queues they depend on and re-examine all state in fn (idempotent
+// step functions), the classic "process network" DES pattern.
+type Waker struct {
+	k       *Kernel
+	fn      func()
+	pending bool
+}
+
+// NewWaker binds a step function to the kernel.
+func NewWaker(k *Kernel, fn func()) *Waker { return &Waker{k: k, fn: fn} }
+
+// Wake schedules the step function at the current time if not already
+// scheduled.
+func (w *Waker) Wake() {
+	if w.pending {
+		return
+	}
+	w.pending = true
+	w.k.Schedule(0, func() {
+		w.pending = false
+		w.fn()
+	})
+}
+
+// WakeAfter schedules the step function after a delay; unlike Wake it does
+// not coalesce (a dedicated timer tick).
+func (w *Waker) WakeAfter(d Time) {
+	w.k.Schedule(d, w.fn)
+}
+
+// Word is the unit of transport on the interconnect: 64 payload bits.
+// Complex fixed-point samples pack I into the high and Q into the low half.
+type Word uint64
+
+// PackIQ packs two signed 32-bit components into a Word.
+func PackIQ(i, q int32) Word {
+	return Word(uint64(uint32(i))<<32 | uint64(uint32(q)))
+}
+
+// UnpackIQ splits a Word into its signed components.
+func UnpackIQ(w Word) (i, q int32) {
+	return int32(uint32(w >> 32)), int32(uint32(w))
+}
+
+// Queue is a bounded FIFO of words with subscriber wake-ups on both data
+// arrival and space release. It is the building block for NI FIFOs, C-FIFO
+// payload storage and gateway buffers.
+type Queue struct {
+	name     string
+	capacity int
+	buf      []Word
+	head     int
+	n        int
+	onData   []*Waker
+	onSpace  []*Waker
+
+	// Pushed and Popped count total traffic for measurement.
+	Pushed, Popped uint64
+	// MaxOccupancy tracks the high-water mark.
+	MaxOccupancy int
+}
+
+// NewQueue returns an empty queue with the given capacity (>= 1).
+func NewQueue(name string, capacity int) *Queue {
+	if capacity < 1 {
+		panic("sim: queue capacity must be >= 1")
+	}
+	return &Queue{name: name, capacity: capacity, buf: make([]Word, capacity)}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of buffered words.
+func (q *Queue) Len() int { return q.n }
+
+// Cap returns the capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Free returns the remaining space.
+func (q *Queue) Free() int { return q.capacity - q.n }
+
+// SubscribeData registers a waker invoked whenever a word is pushed.
+func (q *Queue) SubscribeData(w *Waker) { q.onData = append(q.onData, w) }
+
+// SubscribeSpace registers a waker invoked whenever a word is popped.
+func (q *Queue) SubscribeSpace(w *Waker) { q.onSpace = append(q.onSpace, w) }
+
+// TryPush appends a word, reporting false when full.
+func (q *Queue) TryPush(v Word) bool {
+	if q.n == q.capacity {
+		return false
+	}
+	q.buf[(q.head+q.n)%q.capacity] = v
+	q.n++
+	q.Pushed++
+	if q.n > q.MaxOccupancy {
+		q.MaxOccupancy = q.n
+	}
+	for _, w := range q.onData {
+		w.Wake()
+	}
+	return true
+}
+
+// TryPop removes the oldest word, reporting false when empty.
+func (q *Queue) TryPop() (Word, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % q.capacity
+	q.n--
+	q.Popped++
+	for _, w := range q.onSpace {
+		w.Wake()
+	}
+	return v, true
+}
+
+// Peek returns the oldest word without removing it.
+func (q *Queue) Peek() (Word, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	return q.buf[q.head], true
+}

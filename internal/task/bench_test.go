@@ -1,0 +1,34 @@
+package task
+
+import (
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+func BenchmarkPostAndComplete(b *testing.B) {
+	k := sim.NewKernel()
+	s, err := NewScheduler(k, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tk, err := s.AddTask("t", 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Post(25, nil)
+		k.RunAll()
+	}
+}
+
+func BenchmarkServiceEndLongItem(b *testing.B) {
+	k := sim.NewKernel()
+	s, _ := NewScheduler(k, 1000)
+	tk, _ := s.AddTask("t", 10)
+	for i := 0; i < b.N; i++ {
+		tk.Post(5000, nil) // 500 periods of windows
+		k.RunAll()
+	}
+}

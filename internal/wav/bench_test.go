@@ -1,0 +1,33 @@
+package wav
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkWriteStereo(b *testing.B) {
+	l := make([]int32, 44100)
+	r := make([]int32, 44100)
+	b.SetBytes(int64(len(l) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteStereo(&buf, l, r, 44100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteStereo(&buf, make([]int32, 44100), make([]int32, 44100), 44100); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
