@@ -4,7 +4,10 @@ package main
 // error on its default arguments. The expensive simulation commands are
 // trimmed via flags where possible and skipped under -short.
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func TestCommandRegistry(t *testing.T) {
 	if len(commands) < 10 {
@@ -83,6 +86,32 @@ func TestSimulationCommands(t *testing.T) {
 	runCmd(t, "utilization", "-sw-state")
 	runCmd(t, "ablation-spacecheck")
 	runCmd(t, "ablation-arbiter")
+}
+
+func TestFaultsCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the fault campaign runs many scenarios")
+	}
+	runCmd(t, "faults", "-horizon", "50000")
+}
+
+// TestFaultCampaignDeterministic is an acceptance criterion: the whole
+// campaign — simulation, recovery, report — must be byte-identical across
+// two runs (no map iteration, no wall clock, no randomness anywhere).
+func TestFaultCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the campaign twice")
+	}
+	var a, b bytes.Buffer
+	if err := faultCampaign(&a, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultCampaign(&b, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("campaign output differs between two identical runs")
+	}
 }
 
 func TestBadFlagsRejected(t *testing.T) {

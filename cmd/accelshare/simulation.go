@@ -292,6 +292,7 @@ func runAll(args []string) error {
 		{"ablation-arbiter", nil},
 		{"ablation-flowcontrol", nil},
 		{"ring-vs-crossbar", nil},
+		{"faults", nil},
 	}
 	for _, st := range steps {
 		fmt.Printf("\n================ accelshare %s %v ================\n\n", st.name, st.args)

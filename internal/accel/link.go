@@ -32,8 +32,14 @@ type Link struct {
 	creditPump   bool
 	lastPopCount uint64
 
-	// Words counts data words carried.
-	Words uint64
+	// wedgedUntil, when in the future, makes TrySend fail — the injected
+	// "wedged link/NI" fault of the fault-campaign subsystem.
+	wedgedUntil sim.Time
+
+	// Words counts data words carried; WedgeRejects counts sends refused
+	// while wedged.
+	Words        uint64
+	WedgeRejects uint64
 }
 
 // NewLink wires a credit-controlled connection and binds its ring ports.
@@ -97,9 +103,43 @@ func (l *Link) Credits() int { return l.credits }
 // SubscribeCredits wakes w whenever credits return.
 func (l *Link) SubscribeCredits(w *sim.Waker) { l.creditSubs = append(l.creditSubs, w) }
 
+// WedgeFor makes TrySend fail for the next d cycles — deterministic fault
+// injection modelling a wedged NI or broken ring segment. d == 0 wedges the
+// link permanently. When the wedge lifts, credit subscribers are woken so
+// stalled senders retry.
+func (l *Link) WedgeFor(d sim.Time) {
+	if d == 0 {
+		l.wedgedUntil = ^sim.Time(0)
+		return
+	}
+	l.wedgedUntil = l.k.Now() + d
+	l.k.Schedule(d, func() {
+		for _, w := range l.creditSubs {
+			w.Wake()
+		}
+	})
+}
+
+// Wedged reports whether the link currently refuses sends.
+func (l *Link) Wedged() bool { return l.wedgedUntil > l.k.Now() }
+
+// Reset restores the link to its initial flow-control state after a chain
+// flush: full credits, nothing owed. The caller must already have cleared
+// the downstream queue; any credit messages still in flight must have landed
+// (the gateway's flush settle delay guarantees both).
+func (l *Link) Reset() {
+	l.credits = l.dst.Cap()
+	l.owedCredits = 0
+	l.lastPopCount = l.dst.Popped
+}
+
 // TrySend injects one word if a credit is held and the ring accepts; the
 // caller retries on a credit or ring-space wake-up otherwise.
 func (l *Link) TrySend(w sim.Word) bool {
+	if l.Wedged() {
+		l.WedgeRejects++
+		return false
+	}
 	if l.credits <= 0 {
 		return false
 	}

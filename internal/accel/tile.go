@@ -24,11 +24,14 @@ type Tile struct {
 	busy    bool
 	pending []sim.Word // produced words awaiting downstream credits
 	step    *sim.Waker
+	epoch   uint64 // bumped by Abort to cancel in-flight completions
 
 	// BusyCycles accumulates processing time for utilisation reporting;
-	// Processed counts consumed samples.
+	// Processed counts consumed samples; Aborted counts words discarded by
+	// chain flushes.
 	BusyCycles uint64
 	Processed  uint64
+	Aborted    uint64
 }
 
 // NewTile builds an accelerator around an NI input queue of the given
@@ -69,6 +72,26 @@ func (t *Tile) SetEngine(e Engine) error {
 // Engine returns the active engine.
 func (t *Tile) Engine() Engine { return t.engine }
 
+// Downstream returns the outgoing link (nil before SetDownstream).
+func (t *Tile) Downstream() *Link { return t.out }
+
+// Abort discards all in-flight work: the NI queue contents, produced words
+// awaiting credits, and the sample currently being processed (its scheduled
+// completion becomes a no-op and its output is never produced). The engine's
+// state is untouched — Process only runs at completion, so an aborted sample
+// never mutated it. Used by the gateway's chain-flush fault recovery.
+// Aborted counts the discarded words for diagnostics.
+func (t *Tile) Abort() {
+	t.epoch++
+	if t.busy {
+		t.busy = false
+		t.Aborted++
+	}
+	t.Aborted += uint64(len(t.pending) + t.in.Len())
+	t.pending = t.pending[:0]
+	t.in.Clear()
+}
+
 // Idle reports whether the tile holds no in-flight work.
 func (t *Tile) Idle() bool { return !t.busy && len(t.pending) == 0 && t.in.Len() == 0 }
 
@@ -91,7 +114,11 @@ func (t *Tile) run() {
 	t.busy = true
 	t.BusyCycles += uint64(t.Cost)
 	t.Processed++
+	epoch := t.epoch
 	t.k.Schedule(t.Cost, func() {
+		if t.epoch != epoch {
+			return // aborted mid-sample by a chain flush
+		}
 		t.busy = false
 		t.pending = t.engine.Process(w, t.pending)
 		t.run()

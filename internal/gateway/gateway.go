@@ -85,16 +85,55 @@ type Config struct {
 	// RecordActivity keeps a per-phase activity trace (reconfiguration,
 	// streaming, draining spans per block) for Gantt rendering.
 	RecordActivity bool
-	// DrainTimeout arms a watchdog on the drain phase: if the pipeline-idle
-	// notification has not arrived this many cycles after the last sample
-	// was issued, the gateway declares the chain stalled (a fault — sample
-	// loss inside an accelerator, a wedged NI) and invokes OnStall. The
-	// model gives the natural setting: the drain can never legitimately
-	// exceed the Eq. 2 flush allowance of ~2·c0 plus interconnect transit,
-	// so a small multiple of c0 is safe. 0 disables the watchdog.
+	// DrainTimeout is the watchdog's progress window, covering every phase
+	// of a block (reconfiguration, streaming, draining): if a full window
+	// passes without the block advancing — no sample issued, no sample
+	// drained, no phase transition — the gateway declares the chain stalled
+	// (a fault: sample loss inside an accelerator, a wedged link or NI, a
+	// lost pipeline-idle notification) and invokes OnStall. The model gives
+	// the natural setting: between two progress events the hardware can
+	// never legitimately need more than ~2·c0 plus interconnect transit, so
+	// a small multiple of c0 is safe. (Reconfiguration bus transfers count
+	// as progress for as long as the bus is occupied, so Rs may exceed the
+	// window.) 0 disables the watchdog. Historical name: the first version
+	// only armed the drain phase.
 	DrainTimeout sim.Time
 	// OnStall is called once per detected stall with the stream index.
 	OnStall func(stream int)
+	// Recovery configures what happens after a stall is detected. The zero
+	// value keeps the historical detect-only behaviour (the pair stays
+	// wedged).
+	Recovery Recovery
+	// DropIdle, when non-nil, is consulted before the exit gateway sends a
+	// pipeline-idle notification; returning true swallows the message —
+	// the "lost idle notification" fault-injection hook.
+	DropIdle func(stream int, block uint64) bool
+	// RecordTurnarounds keeps one BlockRecord per completed block on every
+	// stream, so tests and the fault campaign can check per-block latency
+	// re-convergence after a disturbance.
+	RecordTurnarounds bool
+}
+
+// Recovery configures watchdog-driven fault recovery. When enabled, a
+// detected stall triggers flush → retry → (past RetryLimit) quarantine
+// instead of leaving the pair wedged: the chain is cleared and its credit
+// state reset, the aborted block is replayed from a local snapshot after an
+// abort-and-reconfigure, and a stream whose block keeps stalling is removed
+// from arbitration so the surviving streams return to their Eq. 2/4 bounds.
+type Recovery struct {
+	// Enabled turns recovery on.
+	Enabled bool
+	// RetryLimit is how many times one block may be retried before its
+	// stream is quarantined (0 = quarantine on the first stall).
+	RetryLimit int
+	// FlushDelay is the settle time between aborting a block and clearing
+	// the chain, so every in-flight word and credit on the interconnect has
+	// landed. It must exceed the worst-case interconnect transit plus one
+	// sample service; defaults to DrainTimeout, which satisfies that by
+	// construction.
+	FlushDelay sim.Time
+	// OnQuarantine is called once per quarantined stream.
+	OnQuarantine func(stream int)
 }
 
 // ActivityKind labels one span of gateway activity.
@@ -105,6 +144,9 @@ const (
 	ActReconfig ActivityKind = iota
 	ActStream
 	ActDrain
+	// ActFlush is a recovery span: from stall detection to the chain being
+	// cleared and credit state reset.
+	ActFlush
 )
 
 func (k ActivityKind) String() string {
@@ -115,6 +157,8 @@ func (k ActivityKind) String() string {
 		return "stream"
 	case ActDrain:
 		return "drain"
+	case ActFlush:
+		return "flush"
 	}
 	return "?"
 }
@@ -154,6 +198,28 @@ type Stream struct {
 	queuedAt      sim.Time
 	MaxTurnaround sim.Time
 	OutTimes      []sim.Time
+
+	// Fault/recovery stats. StallCount counts watchdog firings attributed
+	// to this stream; RetryCount counts block replays; Quarantined is set
+	// (at QuarantinedAt) when the stream was removed from arbitration.
+	StallCount    uint64
+	RetryCount    uint64
+	Quarantined   bool
+	QuarantinedAt sim.Time
+	// Turnarounds holds one record per completed block (RecordTurnarounds).
+	Turnarounds []BlockRecord
+}
+
+// BlockRecord describes one completed block (Config.RecordTurnarounds):
+// when it became eligible, when its service (first attempt) started, when
+// the pipeline-idle notification closed it, and how many retries it needed.
+// Done-Queued is the turnaround measured against γ̂s (Eq. 4); Done-Started
+// is the service latency measured against τ̂s (Eq. 2).
+type BlockRecord struct {
+	Queued  sim.Time
+	Started sim.Time
+	Done    sim.Time
+	Retries int
 }
 
 type entryState int
@@ -163,6 +229,9 @@ const (
 	stReconfig
 	stStreaming
 	stDraining
+	// stFlushing: a stall was detected and the in-flight block aborted; the
+	// pair waits out the flush settle delay before clearing the chain.
+	stFlushing
 )
 
 // Pair is one entry/exit gateway pair managing a chain of accelerator
@@ -187,6 +256,24 @@ type Pair struct {
 	heldWord sim.Word
 	step     *sim.Waker
 
+	// Recovery state. blockEpoch identifies the current block attempt; it
+	// is bumped on every completion, flush, retry and quarantine so stale
+	// scheduled events (watchdog checks, in-flight DMA/exit completions,
+	// idle-message retries) cancel themselves. blockBuf snapshots the input
+	// words consumed for the active block so a retry can replay them;
+	// fetched indexes the next word of the current attempt. retryState is
+	// the engines' state at block start; exitDiscard counts replayed output
+	// words the exit gateway must swallow because they were already
+	// committed before an abort.
+	blockEpoch   uint64
+	blockRetries int
+	blockBuf     []sim.Word
+	fetched      int
+	retryState   [][]uint64
+	exitDiscard  int64
+	blockQueued  sim.Time
+	blockStarted sim.Time
+
 	// Exit state machine.
 	exitBusy    bool
 	exitCount   int64
@@ -205,9 +292,16 @@ type Pair struct {
 	Activities []Activity
 	phaseStart sim.Time
 
-	// Stalls counts drain-watchdog firings (chain faults detected).
-	Stalls     uint64
-	drainEpoch uint64
+	// Stalls counts watchdog firings (chain faults detected); Retries and
+	// Quarantines count recovery actions; IdleDropped counts pipeline-idle
+	// notifications swallowed by the DropIdle fault hook; LateIdles counts
+	// idle notifications that arrived after their block had already been
+	// aborted (a flush racing a slow notification).
+	Stalls      uint64
+	Retries     uint64
+	Quarantines uint64
+	IdleDropped uint64
+	LateIdles   uint64
 }
 
 // NewPair wires a gateway pair around existing accelerator tiles. The
@@ -276,10 +370,13 @@ func (p *Pair) Start() {
 	p.step.Wake()
 }
 
-// ready reports whether stream i can be served now: full input block,
-// reserved output space.
+// ready reports whether stream i can be served now: not quarantined, full
+// input block, reserved output space.
 func (p *Pair) ready(i int) bool {
 	s := p.streams[i]
+	if s.Quarantined {
+		return false
+	}
 	if s.In.Len() < int(s.Block) {
 		return false
 	}
@@ -293,6 +390,9 @@ func (p *Pair) ready(i int) bool {
 // turnaround (γs) measurement against Eq. 4.
 func (p *Pair) trackQueued() {
 	for i, s := range p.streams {
+		if s.Quarantined {
+			continue
+		}
 		if !s.queued && p.ready(i) && !(p.state != stIdle && i == p.active) {
 			s.queued = true
 			s.queuedAt = p.k.Now()
@@ -339,6 +439,18 @@ func (p *Pair) beginBlock(i int) {
 	p.active = i
 	p.rr = (i + 1) % len(p.streams)
 	s := p.streams[i]
+	p.blockEpoch++
+	p.blockRetries = 0
+	p.blockBuf = p.blockBuf[:0]
+	p.fetched = 0
+	p.exitDiscard = 0
+	p.blockStarted = p.k.Now()
+	if s.queued {
+		p.blockQueued = s.queuedAt
+	} else {
+		p.blockQueued = p.k.Now()
+	}
+	p.armWatchdog()
 
 	var cost sim.Time
 	switch p.cfg.Mode {
@@ -361,6 +473,14 @@ func (p *Pair) beginBlock(i int) {
 	p.bus.TransferCycles(cost, func() {
 		if err := p.swapEngines(prev, i); err != nil {
 			panic(fmt.Sprintf("gateway %s: %v", p.cfg.Name, err))
+		}
+		if p.cfg.Recovery.Enabled {
+			// Snapshot the engines' state at block start so a retry can
+			// restore it (abort-and-reconfigure) and replay identically.
+			p.retryState = p.retryState[:0]
+			for _, e := range s.Engines {
+				p.retryState = append(p.retryState, e.SaveState())
+			}
 		}
 		p.recordActivity(ActReconfig)
 		// Configure the exit gateway for the new block (its own port on the
@@ -418,12 +538,28 @@ func (p *Pair) pump() {
 	if p.sent >= s.Block {
 		return
 	}
-	w, ok := s.In.TryRead()
-	if !ok {
-		panic(fmt.Sprintf("gateway %s: input underflow on %s — eligibility check broken", p.cfg.Name, s.Name))
+	var w sim.Word
+	if p.fetched < len(p.blockBuf) {
+		// Retried block: replay from the local snapshot instead of the
+		// input C-FIFO (whose words were consumed by the aborted attempt).
+		w = p.blockBuf[p.fetched]
+	} else {
+		var ok bool
+		w, ok = s.In.TryRead()
+		if !ok {
+			panic(fmt.Sprintf("gateway %s: input underflow on %s — eligibility check broken", p.cfg.Name, s.Name))
+		}
+		if p.cfg.Recovery.Enabled {
+			p.blockBuf = append(p.blockBuf, w)
+		}
 	}
+	p.fetched++
 	p.dmaBusy = true
+	epoch := p.blockEpoch
 	p.k.Schedule(p.cfg.EntryCost, func() {
+		if p.blockEpoch != epoch {
+			return // block aborted mid-DMA by a flush
+		}
 		p.dmaBusy = false
 		p.StreamingCycles += uint64(p.cfg.EntryCost)
 		if !p.link.TrySend(w) {
@@ -443,28 +579,180 @@ func (p *Pair) afterSample() {
 		s.In.Ack() // release any batched input space promptly
 		p.recordActivity(ActStream)
 		p.state = stDraining
-		p.armDrainWatchdog()
 		return
 	}
 	p.pump()
 }
 
-// armDrainWatchdog starts the stall detector for the current drain phase.
-func (p *Pair) armDrainWatchdog() {
+// wdSnap is the watchdog's progress fingerprint: while a block is in
+// flight, any change to it between two checks means the chain advanced.
+type wdSnap struct {
+	epoch       uint64
+	state       entryState
+	sent        int64
+	fetched     int
+	exitCount   int64
+	exitDiscard int64
+}
+
+func (p *Pair) snapshot() wdSnap {
+	return wdSnap{p.blockEpoch, p.state, p.sent, p.fetched, p.exitCount, p.exitDiscard}
+}
+
+// armWatchdog starts the progress-based stall detector for the current
+// block attempt. It covers every phase — reconfiguration, streaming and
+// drain — by re-arming itself as long as the fingerprint keeps changing; a
+// full DrainTimeout window with zero progress is a stall. Timers are bound
+// to the block epoch, so a timer armed for block N can never fire a
+// spurious stall after block N completed and block N+1 is in flight.
+func (p *Pair) armWatchdog() {
 	if p.cfg.DrainTimeout == 0 {
 		return
 	}
-	p.drainEpoch++
-	epoch := p.drainEpoch
+	snap := p.snapshot()
+	p.k.Schedule(p.cfg.DrainTimeout, func() { p.watchdogCheck(snap) })
+}
+
+func (p *Pair) watchdogCheck(snap wdSnap) {
+	if p.blockEpoch != snap.epoch || p.state == stIdle || p.state == stFlushing {
+		return // block completed, or a flush is already under way
+	}
+	cur := p.snapshot()
+	if cur != snap || (p.state == stReconfig && p.bus.BusyUntil() > p.k.Now()) {
+		// Progress since the last check (an occupied configuration bus
+		// counts: Rs may legitimately exceed the window): re-arm.
+		p.k.Schedule(p.cfg.DrainTimeout, func() { p.watchdogCheck(cur) })
+		return
+	}
+	p.stallDetected()
+}
+
+// stallDetected handles a watchdog expiry: account the fault, notify, and —
+// when recovery is enabled — start the flush.
+func (p *Pair) stallDetected() {
 	stream := p.active
-	p.k.Schedule(p.cfg.DrainTimeout, func() {
-		if p.state == stDraining && p.drainEpoch == epoch && p.active == stream {
-			p.Stalls++
-			if p.cfg.OnStall != nil {
-				p.cfg.OnStall(stream)
+	p.Stalls++
+	p.streams[stream].StallCount++
+	if p.cfg.OnStall != nil {
+		p.cfg.OnStall(stream)
+	}
+	if !p.cfg.Recovery.Enabled {
+		return // detect-only (historical behaviour): the pair stays wedged
+	}
+	p.beginFlush()
+}
+
+// beginFlush aborts the in-flight block: freeze the entry and exit state
+// machines (the epoch bump turns their in-flight completions into no-ops),
+// then wait out the settle delay so every word and credit still travelling
+// the interconnect has landed before the chain is cleared.
+func (p *Pair) beginFlush() {
+	p.state = stFlushing
+	p.blockEpoch++
+	p.dmaBusy = false
+	p.holding = false
+	p.exitBusy = false
+	p.exitHolding = false
+	p.phaseStart = p.k.Now()
+	delay := p.cfg.Recovery.FlushDelay
+	if delay == 0 {
+		delay = p.cfg.DrainTimeout
+	}
+	epoch := p.blockEpoch
+	p.k.Schedule(delay, func() {
+		if p.blockEpoch != epoch || p.state != stFlushing {
+			return
+		}
+		p.completeFlush()
+	})
+}
+
+// completeFlush clears the chain — tile NI queues, in-process samples,
+// pending outputs, the exit NI — and resets every link's credit state, then
+// decides between retry and quarantine.
+func (p *Pair) completeFlush() {
+	for _, t := range p.tiles {
+		t.Abort()
+	}
+	p.exitNI.Clear()
+	p.link.Reset()
+	for _, t := range p.tiles {
+		if l := t.Downstream(); l != nil {
+			l.Reset()
+		}
+	}
+	p.recordActivity(ActFlush)
+	s := p.streams[p.active]
+	if p.blockRetries >= p.cfg.Recovery.RetryLimit {
+		p.quarantine()
+		return
+	}
+	p.blockRetries++
+	p.Retries++
+	s.RetryCount++
+	p.retryBlock()
+}
+
+// retryBlock re-issues the aborted block: reload the engines' block-start
+// snapshot over the configuration bus (abort-and-reconfigure, charged like
+// a context switch), then replay the locally buffered input words. Output
+// words that were already committed to the output C-FIFO before the abort
+// are regenerated by the replay and discarded at the exit gateway, so the
+// consumer sees each block position once.
+func (p *Pair) retryBlock() {
+	s := p.streams[p.active]
+	p.state = stReconfig
+	var cost sim.Time
+	switch p.cfg.Mode {
+	case ReconfigFixed:
+		cost = s.Reconfig
+	case ReconfigPerWord:
+		words := 0
+		for _, e := range s.Engines {
+			words += e.StateWords()
+		}
+		cost = p.cfg.BusBase + sim.Time(words)*p.cfg.BusPerWord
+	}
+	p.ReconfigCycles += uint64(cost)
+	p.phaseStart = p.k.Now()
+	epoch := p.blockEpoch
+	p.bus.TransferCycles(cost, func() {
+		if p.blockEpoch != epoch {
+			return
+		}
+		for t, e := range s.Engines {
+			if err := e.LoadState(p.retryState[t]); err != nil {
+				panic(fmt.Sprintf("gateway %s: retry restore %s tile %d: %v", p.cfg.Name, s.Name, t, err))
 			}
 		}
+		p.recordActivity(ActReconfig)
+		p.state = stStreaming
+		p.sent = 0
+		p.fetched = 0
+		p.exitDiscard = p.exitCount
+		p.lastStreamStart = p.k.Now()
+		p.armWatchdog()
+		p.pump()
 	})
+}
+
+// quarantine removes the active stream from arbitration for good: its
+// aborted block is discarded and its share of the chain released, so the
+// surviving streams' interference term (Eq. 3/4) shrinks to the healthy
+// set and their bounds hold again — graceful degradation.
+func (p *Pair) quarantine() {
+	s := p.streams[p.active]
+	s.Quarantined = true
+	s.QuarantinedAt = p.k.Now()
+	s.queued = false
+	p.Quarantines++
+	p.blockBuf = p.blockBuf[:0]
+	p.fetched = 0
+	p.state = stIdle
+	if p.cfg.Recovery.OnQuarantine != nil {
+		p.cfg.Recovery.OnQuarantine(p.active)
+	}
+	p.step.Wake()
 }
 
 // recordActivity closes the current phase span (when enabled).
@@ -481,7 +769,7 @@ func (p *Pair) recordActivity(kind ActivityKind) {
 // exitRun is the exit gateway's step function: one sample per δ cycles from
 // the NI to the output C-FIFO.
 func (p *Pair) exitRun() {
-	if p.exitBusy {
+	if p.exitBusy || p.state == stFlushing {
 		return
 	}
 	if p.exitHolding {
@@ -491,7 +779,7 @@ func (p *Pair) exitRun() {
 			return
 		}
 		p.exitHolding = false
-		p.afterExitSample()
+		p.afterExitWord(true)
 		return
 	}
 	w, ok := p.exitNI.TryPop()
@@ -499,8 +787,20 @@ func (p *Pair) exitRun() {
 		return
 	}
 	p.exitBusy = true
+	epoch := p.blockEpoch
 	p.k.Schedule(p.cfg.ExitCost, func() {
+		if p.blockEpoch != epoch {
+			return // block aborted while this word was in the exit DMA
+		}
 		p.exitBusy = false
+		if p.exitDiscard > 0 {
+			// Replayed word whose original was already committed to the
+			// output C-FIFO before the abort: swallow it so the consumer sees
+			// each block position exactly once.
+			p.exitDiscard--
+			p.afterExitWord(false)
+			return
+		}
 		s := p.streams[p.active]
 		if !s.Out.TryWrite(w) {
 			// The space check reserved room, but the ring injection buffer
@@ -510,18 +810,25 @@ func (p *Pair) exitRun() {
 			p.k.Schedule(2, func() { p.exitStep.Wake() })
 			return
 		}
-		p.afterExitSample()
+		p.afterExitWord(true)
 	})
 }
 
-func (p *Pair) afterExitSample() {
+// afterExitWord closes one exit-DMA service: committed words count toward
+// the stream's output, discarded replays only toward block completion. The
+// block completes when a full OutBlock has been committed AND no replay
+// discards remain — on a retry the discards come first, so checking both
+// paths keeps the completion edge firing exactly once per attempt.
+func (p *Pair) afterExitWord(committed bool) {
 	s := p.streams[p.active]
-	s.SamplesOut++
-	if p.cfg.RecordOutputTimes {
-		s.OutTimes = append(s.OutTimes, p.k.Now())
+	if committed {
+		s.SamplesOut++
+		if p.cfg.RecordOutputTimes {
+			s.OutTimes = append(s.OutTimes, p.k.Now())
+		}
+		p.exitCount++
 	}
-	p.exitCount++
-	if p.exitCount >= s.OutBlock {
+	if p.exitCount >= s.OutBlock && p.exitDiscard == 0 {
 		// Last sample of the block passed through: notify the entry gateway
 		// over the ring.
 		p.sendIdle(p.active)
@@ -529,15 +836,37 @@ func (p *Pair) afterExitSample() {
 	p.exitStep.Wake()
 }
 
+// sendIdle originates one pipeline-idle notification; the DropIdle fault
+// hook is consulted exactly once per block completion, here — ring-busy
+// resends in pushIdle do not re-consult it.
 func (p *Pair) sendIdle(streamIdx int) {
+	if p.cfg.DropIdle != nil && p.cfg.DropIdle(streamIdx, p.streams[streamIdx].Blocks) {
+		p.IdleDropped++
+		return
+	}
+	p.pushIdle(streamIdx, p.blockEpoch)
+}
+
+// pushIdle retries the ring injection until it lands, bound to the block
+// epoch so a flush cancels pending resends.
+func (p *Pair) pushIdle(streamIdx int, epoch uint64) {
+	if p.blockEpoch != epoch {
+		return
+	}
 	if !p.net.Data.Node(p.cfg.ExitNode).TrySend(p.cfg.EntryNode, p.cfg.IdlePort, sim.Word(streamIdx)) {
-		p.k.Schedule(2, func() { p.sendIdle(streamIdx) })
+		p.k.Schedule(2, func() { p.pushIdle(streamIdx, epoch) })
 	}
 }
 
 // onPipelineIdle completes the active block.
 func (p *Pair) onPipelineIdle(streamIdx int) {
 	if p.state != stDraining || streamIdx != p.active {
+		if p.cfg.Recovery.Enabled || p.cfg.DropIdle != nil {
+			// With faults in play a notification can legitimately race a
+			// flush and arrive after its block was aborted: tolerate it.
+			p.LateIdles++
+			return
+		}
 		panic(fmt.Sprintf("gateway %s: spurious idle notification (state=%d idx=%d active=%d)",
 			p.cfg.Name, p.state, streamIdx, p.active))
 	}
@@ -551,6 +880,12 @@ func (p *Pair) onPipelineIdle(streamIdx int) {
 		}
 		s.queued = false
 	}
+	if p.cfg.RecordTurnarounds {
+		s.Turnarounds = append(s.Turnarounds, BlockRecord{
+			Queued: p.blockQueued, Started: p.blockStarted, Done: p.k.Now(), Retries: p.blockRetries,
+		})
+	}
+	p.blockEpoch++ // completed: cancel this block's pending timers/events
 	p.state = stIdle
 	p.step.Wake()
 }
@@ -561,7 +896,7 @@ func (p *Pair) onPipelineIdle(streamIdx int) {
 // cannot see a block that is never served.
 func (p *Pair) PendingWait(s int) sim.Time {
 	st := p.streams[s]
-	if !st.queued || (p.state != stIdle && s == p.active) {
+	if st.Quarantined || !st.queued || (p.state != stIdle && s == p.active) {
 		return 0
 	}
 	return p.k.Now() - st.queuedAt

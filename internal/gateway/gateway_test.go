@@ -13,10 +13,11 @@ import (
 // rig is a hand-wired single-accelerator platform: node 0 = entry, node 1 =
 // accelerator, node 2 = exit, node 3 = source tile, node 4 = sink tile.
 type rig struct {
-	k    *sim.Kernel
-	net  *ring.Dual
-	tile *accel.Tile
-	pair *Pair
+	k     *sim.Kernel
+	net   *ring.Dual
+	tile  *accel.Tile
+	entry *accel.Link
+	pair  *Pair
 }
 
 func newRig(t *testing.T, cfg Config) *rig {
@@ -36,7 +37,7 @@ func newRig(t *testing.T, cfg Config) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{k: k, net: net, tile: tile, pair: pair}
+	return &rig{k: k, net: net, tile: tile, entry: entryLink, pair: pair}
 }
 
 func (r *rig) addStream(t *testing.T, name string, block int64, inCap, outCap int, portBase int) (*Stream, *cfifo.FIFO, *cfifo.FIFO) {

@@ -9,6 +9,7 @@ package mpsoc
 import (
 	"accelshare/internal/accel"
 	"accelshare/internal/cfifo"
+	"accelshare/internal/fault"
 	"accelshare/internal/gateway"
 	"accelshare/internal/ring"
 	"accelshare/internal/sim"
@@ -76,8 +77,15 @@ type Config struct {
 	RecordActivity      bool
 	UseSlottedRing      bool
 	DisableSpaceCheck   bool
-	Accels              []AccelSpec
-	Streams             []StreamSpec
+	// DrainTimeout/Recovery/OnStall/Faults/RecordTurnarounds configure the
+	// watchdog and fault subsystem; see ChainSpec.
+	DrainTimeout      sim.Time
+	Recovery          gateway.Recovery
+	OnStall           func(stream int)
+	Faults            *fault.Plan
+	RecordTurnarounds bool
+	Accels            []AccelSpec
+	Streams           []StreamSpec
 }
 
 // Stream is the runtime state of one stream.
@@ -129,6 +137,11 @@ func Build(cfg Config) (*System, error) {
 			BusBase:           cfg.BusBase,
 			BusPerWord:        cfg.BusPerWord,
 			DisableSpaceCheck: cfg.DisableSpaceCheck,
+			DrainTimeout:      cfg.DrainTimeout,
+			Recovery:          cfg.Recovery,
+			OnStall:           cfg.OnStall,
+			Faults:            cfg.Faults,
+			RecordTurnarounds: cfg.RecordTurnarounds,
 			Accels:            cfg.Accels,
 			Streams:           cfg.Streams,
 		}},
@@ -260,6 +273,13 @@ type StreamReport struct {
 	PendingWait sim.Time
 	// OutputRate is samples per cycle over the observation window.
 	OutputRate float64
+	// Stalls/Retries count watchdog firings and block replays attributed
+	// to this stream; Quarantined (at QuarantinedAt) means the stream was
+	// removed from arbitration after exhausting its retry budget.
+	Stalls        uint64
+	Retries       uint64
+	Quarantined   bool
+	QuarantinedAt sim.Time
 }
 
 // Report collects the measurements after Run.

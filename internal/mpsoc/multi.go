@@ -10,6 +10,7 @@ import (
 
 	"accelshare/internal/accel"
 	"accelshare/internal/cfifo"
+	"accelshare/internal/fault"
 	"accelshare/internal/gateway"
 	"accelshare/internal/ring"
 	"accelshare/internal/sim"
@@ -23,8 +24,21 @@ type ChainSpec struct {
 	Arbiter             gateway.Arbitration
 	BusBase, BusPerWord sim.Time
 	DisableSpaceCheck   bool
-	Accels              []AccelSpec
-	Streams             []StreamSpec
+	// DrainTimeout arms the gateway's progress watchdog (0 = disabled) and
+	// Recovery configures flush/retry/quarantine on expiry.
+	DrainTimeout sim.Time
+	Recovery     gateway.Recovery
+	// OnStall is forwarded to the gateway (called per detected stall).
+	OnStall func(stream int)
+	// Faults, when non-nil, is armed against this chain: engine-level
+	// faults wrap the streams' engines, wedge faults are scheduled on the
+	// chain's links / the data ring, and lost-idle faults install the
+	// gateway's DropIdle hook.
+	Faults *fault.Plan
+	// RecordTurnarounds keeps per-block latency records on every stream.
+	RecordTurnarounds bool
+	Accels            []AccelSpec
+	Streams           []StreamSpec
 }
 
 // MultiConfig assembles a platform with several shared chains on one ring.
@@ -46,6 +60,10 @@ type Chain struct {
 	Pair  *gateway.Pair
 	Tiles []*accel.Tile
 	Strs  []*Stream
+	// Links holds the chain's credit-controlled links in order: 0 = entry
+	// gateway -> first tile, i = the link after tile i-1 (fault Site
+	// convention).
+	Links []*accel.Link
 }
 
 // MultiSystem is a platform with several gateway pairs.
@@ -123,17 +141,20 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 	}
 	entryLink := accel.NewLink("entry->"+spec.Accels[0].Name, k, net,
 		entryN, accelN[0], portData, portCredit, ch.Tiles[0].In())
+	ch.Links = append(ch.Links, entryLink)
 	for i := 0; i+1 < len(ch.Tiles); i++ {
 		l := accel.NewLink(fmt.Sprintf("%s->%s", spec.Accels[i].Name, spec.Accels[i+1].Name), k, net,
 			accelN[i], accelN[i+1], portData, portCredit, ch.Tiles[i+1].In())
 		ch.Tiles[i].SetDownstream(l)
+		ch.Links = append(ch.Links, l)
 	}
 	exitNI := sim.NewQueue(spec.Name+".exit.ni", 2)
 	lastLink := accel.NewLink(spec.Accels[len(spec.Accels)-1].Name+"->exit", k, net,
 		accelN[len(accelN)-1], exitN, portData, portCredit, exitNI)
 	ch.Tiles[len(ch.Tiles)-1].SetDownstream(lastLink)
+	ch.Links = append(ch.Links, lastLink)
 
-	pair, err := gateway.NewPair(k, net, gateway.Config{
+	gwCfg := gateway.Config{
 		Name:              spec.Name,
 		EntryNode:         entryN,
 		ExitNode:          exitN,
@@ -147,7 +168,22 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 		RecordOutputTimes: top.RecordOutputTimes,
 		RecordActivity:    top.RecordActivity,
 		DisableSpaceCheck: spec.DisableSpaceCheck,
-	}, ch.Tiles, entryLink, exitNI)
+		DrainTimeout:      spec.DrainTimeout,
+		Recovery:          spec.Recovery,
+		OnStall:           spec.OnStall,
+		RecordTurnarounds: spec.RecordTurnarounds,
+	}
+	if spec.Faults != nil {
+		gwCfg.DropIdle = spec.Faults.IdleDropper()
+		// Wedge faults target this chain's links and the shared data ring;
+		// the cycle-true slotted transport has no wedge hooks, so WedgeNode
+		// faults require the transaction-level ring.
+		dataRing, _ := net.Data.(*ring.Ring)
+		if err := spec.Faults.ArmWedges(k, ch.Links, dataRing); err != nil {
+			return nil, err
+		}
+	}
+	pair, err := gateway.NewPair(k, net, gwCfg, ch.Tiles, entryLink, exitNI)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +218,10 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 		if err != nil {
 			return nil, err
 		}
+		engines := ss.Engines
+		if spec.Faults != nil && spec.Faults.EngineFaults(i) {
+			engines = spec.Faults.WrapEngines(i, engines)
+		}
 		st := &Stream{Spec: ss, In: in, Out: out}
 		st.GW = &gateway.Stream{
 			Name:     ss.Name,
@@ -190,7 +230,7 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 			Reconfig: ss.Reconfig,
 			In:       in,
 			Out:      out,
-			Engines:  ss.Engines,
+			Engines:  engines,
 		}
 		if err := pair.AddStream(st.GW); err != nil {
 			return nil, err
@@ -240,6 +280,10 @@ func chainReport(k *sim.Kernel, ch *Chain) Report {
 			Overflows:     st.Overflows,
 			MaxTurnaround: st.GW.MaxTurnaround,
 			PendingWait:   ch.Pair.PendingWait(i),
+			Stalls:        st.GW.StallCount,
+			Retries:       st.GW.RetryCount,
+			Quarantined:   st.GW.Quarantined,
+			QuarantinedAt: st.GW.QuarantinedAt,
 		}
 		if total > 0 {
 			sr.OutputRate = float64(st.GW.SamplesOut) / float64(total)

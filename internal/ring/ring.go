@@ -96,6 +96,13 @@ type Node struct {
 	ports    map[int]func(Message)
 	space    []*sim.Waker
 	pumping  bool
+
+	// wedgedUntil, when in the future, freezes the node's injection side:
+	// TrySend refuses and buffered messages stop advancing — the injected
+	// "wedged NI" fault of the fault-campaign subsystem.
+	wedgedUntil sim.Time
+	// WedgeRejects counts sends refused while wedged.
+	WedgeRejects uint64
 }
 
 // New builds a ring on the kernel.
@@ -162,11 +169,38 @@ func (n *Node) SubscribeSpace(w *sim.Waker) { n.space = append(n.space, w) }
 // Free returns the available injection-buffer slots.
 func (n *Node) Free() int { return n.r.cfg.InjectionDepth - len(n.inj) }
 
+// WedgeNode freezes node i's injection side for d cycles (d == 0 =
+// permanently): sends are refused and already-buffered messages stop
+// advancing, modelling a wedged network interface. Messages already on the
+// ring still arrive. When the wedge lifts, space subscribers are woken and
+// the injection buffer resumes draining.
+func (r *Ring) WedgeNode(i int, d sim.Time) {
+	n := r.nodes[i]
+	if d == 0 {
+		n.wedgedUntil = ^sim.Time(0)
+		return
+	}
+	n.wedgedUntil = r.k.Now() + d
+	r.k.Schedule(d, func() {
+		for _, w := range n.space {
+			w.Wake()
+		}
+		n.pump()
+	})
+}
+
+// wedged reports whether the node's injection side is frozen.
+func (n *Node) wedged() bool { return n.wedgedUntil > n.r.k.Now() }
+
 // TrySend posts a write of word w to (dst, port). It reports false when the
 // injection buffer is full — the caller retries on a space wake-up. A
 // successful TrySend is a completed posted write from the producer's
 // perspective.
 func (n *Node) TrySend(dst, port int, w sim.Word) bool {
+	if n.wedged() {
+		n.WedgeRejects++
+		return false
+	}
 	if len(n.inj) >= n.r.cfg.InjectionDepth {
 		return false
 	}
@@ -188,7 +222,9 @@ func (n *Node) pump() {
 	n.pumping = true
 	k.ScheduleAt(start, func() {
 		n.pumping = false
-		if len(n.inj) == 0 {
+		if len(n.inj) == 0 || n.wedged() {
+			// A wedged node's buffered messages stay frozen; the wedge-lift
+			// event restarts the pump.
 			return
 		}
 		m := n.inj[0]

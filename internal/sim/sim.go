@@ -231,6 +231,15 @@ func (q *Queue) TryPop() (Word, bool) {
 	return v, true
 }
 
+// Clear discards every buffered word without waking subscribers or touching
+// the Pushed/Popped counters — the queue simply forgets its contents. It
+// models a hardware flush (gateway fault recovery): the discarded words were
+// never consumed, so no space-release or credit activity must follow.
+func (q *Queue) Clear() {
+	q.head = 0
+	q.n = 0
+}
+
 // Peek returns the oldest word without removing it.
 func (q *Queue) Peek() (Word, bool) {
 	if q.n == 0 {

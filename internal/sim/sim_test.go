@@ -147,6 +147,43 @@ func TestQueueWakeups(t *testing.T) {
 	}
 }
 
+func TestQueueClearDiscardsSilently(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue("q", 4)
+	spaceWakes := 0
+	q.SubscribeSpace(NewWaker(k, func() { spaceWakes++ }))
+	q.TryPush(1)
+	q.TryPush(2)
+	q.TryPush(3)
+	k.RunAll()
+	q.Clear()
+	k.RunAll()
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after Clear", q.Len())
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop succeeded after Clear")
+	}
+	if spaceWakes != 0 {
+		t.Errorf("Clear woke space subscribers %d times (must be silent)", spaceWakes)
+	}
+	if q.Pushed != 3 || q.Popped != 0 {
+		t.Errorf("Clear changed counters: pushed=%d popped=%d", q.Pushed, q.Popped)
+	}
+	// Full capacity is usable again and FIFO order is intact.
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(Word(10 + i)) {
+			t.Fatalf("push %d after Clear failed", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != Word(10+i) {
+			t.Fatalf("post-Clear pop %d = %d %v", i, v, ok)
+		}
+	}
+}
+
 func TestQueueFIFOOrderWrapAround(t *testing.T) {
 	q := NewQueue("q", 3)
 	for round := 0; round < 5; round++ {
