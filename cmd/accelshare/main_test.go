@@ -114,6 +114,31 @@ func TestFaultCampaignDeterministic(t *testing.T) {
 	}
 }
 
+func TestAdmitCommand(t *testing.T) {
+	runCmd(t, "admit", "-horizon", "60000")
+}
+
+// TestAdmitDeterministic is an acceptance criterion: the scripted admission
+// campaign — live platform, incremental re-solves, staged mode transitions,
+// canary readmission, event log — must be byte-identical across two runs.
+func TestAdmitDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := admitCampaign(&a, defaultAdmitScript, 60_000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := admitCampaign(&b, defaultAdmitScript, 60_000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("admission campaign output differs between two identical runs")
+	}
+	for _, want := range []string{"add s5: admitted", "remove s4: admitted", "readmit s4: admitted", "canary-pass s4", "rejected (infeasible)"} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Errorf("campaign output missing %q", want)
+		}
+	}
+}
+
 func TestBadFlagsRejected(t *testing.T) {
 	for _, c := range commands {
 		if c.name == "fig6" {

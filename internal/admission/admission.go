@@ -1,0 +1,811 @@
+// Package admission is the online control plane for a running platform:
+// it admits, removes and readmits streams without violating the survivors'
+// Eq. 2 (τ̂s) and Eq. 4 (γ̂s) bounds.
+//
+// The paper sizes block sizes ηs once, offline, with Algorithm 1 for a
+// fixed stream set. A service under live traffic changes the set while
+// blocks are flowing, so every request here runs the same analysis
+// incrementally — an exact ILP re-solve under a node budget with a
+// warm-started Kleene fixed point as fallback — and, only when the new
+// configuration is provably feasible, applies it as a staged mode
+// transition:
+//
+//  1. drain: arbitration pauses at the next block boundary
+//     (gateway.RequestPause), so the pipeline is provably idle;
+//  2. reconfigure: stream slots are reprogrammed over the configuration
+//     bus in one validated transaction (gateway.ApplySlots), optionally
+//     attaching a brand-new stream to a reserved ring slot
+//     (mpsoc.AttachStream);
+//  3. resume: arbitration restarts under the new ηs.
+//
+// The transition cost is itself bounded — the drain waits at most one
+// in-flight block turnaround max τ̂s plus the bus transaction — and both
+// the bound and the measured cost are recorded in the decision's Verdict.
+//
+// Readmission of a quarantined stream is probational: the stream re-enters
+// arbitration with a canary block; one clean completion clears probation,
+// one stall re-quarantines immediately (no retry budget) and the
+// controller rolls the survivors back to their previous configuration.
+//
+// Every decision lands in an append-only event log with deterministic
+// rendering, so a scripted campaign (cmd/accelshare admit) is
+// byte-identical across runs.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"accelshare/internal/accel"
+	"accelshare/internal/core"
+	"accelshare/internal/gateway"
+	"accelshare/internal/ilp"
+	"accelshare/internal/mpsoc"
+	"accelshare/internal/sim"
+)
+
+// Reason is a machine-readable verdict category.
+type Reason string
+
+// Verdict reasons.
+const (
+	// ReasonAdmitted marks an accepted request.
+	ReasonAdmitted Reason = "admitted"
+	// ReasonInfeasible: Algorithm 1 has no solution (utilisation ≥ 1 or the
+	// ILP is infeasible).
+	ReasonInfeasible Reason = "infeasible"
+	// ReasonBufferBound: the new configuration is feasible in time but a
+	// stream's C-FIFO, fixed at build time, is smaller than the buffer
+	// bound the new ηs requires.
+	ReasonBufferBound Reason = "buffer-bound"
+	// ReasonSolverBudget: neither the budgeted ILP nor the fixed-point
+	// fallback finished within its budget. The request may well be
+	// feasible; the control plane refused to stall proving it.
+	ReasonSolverBudget Reason = "solver-budget"
+	// ReasonNoSlot: no reserved ring slot is left for a new stream.
+	ReasonNoSlot Reason = "no-reserved-slot"
+	// ReasonUnknownStream: the named stream is not under control.
+	ReasonUnknownStream Reason = "unknown-stream"
+	// ReasonNotQuarantined: readmission of a stream that is not quarantined.
+	ReasonNotQuarantined Reason = "not-quarantined"
+	// ReasonBusy: another mode transition is still in flight.
+	ReasonBusy Reason = "busy"
+	// ReasonBadRequest: malformed request parameters.
+	ReasonBadRequest Reason = "bad-request"
+)
+
+// BlockAssignment is one stream's ηs in a verdict (a slice, not a map, so
+// rendering order is deterministic).
+type BlockAssignment struct {
+	Name  string
+	Block int64
+}
+
+// Verdict is the outcome of one admission request.
+type Verdict struct {
+	Accepted bool
+	Reason   Reason
+	// Detail names the violated constraint or failed step for rejections.
+	Detail string
+	// Blocks is the applied assignment (accepted requests only).
+	Blocks []BlockAssignment
+	// FixedPoint is true when the warm-started fixed point produced the
+	// assignment (the budgeted ILP gave up or granularity constraints
+	// ruled it out); SolveRounds is the iteration count then.
+	FixedPoint  bool
+	SolveRounds int
+	// BoundCycles bounds the transition: max τ̂s over the outgoing
+	// configuration (the drain can wait for one in-flight block, retries
+	// included in the Rs + (η+2)c0 envelope) plus the configuration-bus
+	// transaction. PauseWait and BusCycles are the measured parts;
+	// PauseWait + BusCycles ≤ BoundCycles on every accepted request.
+	BoundCycles uint64
+	PauseWait   sim.Time
+	BusCycles   uint64
+}
+
+// EventKind tags one event-log entry.
+type EventKind string
+
+// Event kinds.
+const (
+	EvAdd        EventKind = "add"
+	EvRemove     EventKind = "remove"
+	EvReadmit    EventKind = "readmit"
+	EvQuarantine EventKind = "quarantine"
+	EvCanaryPass EventKind = "canary-pass"
+	EvCanaryFail EventKind = "canary-fail"
+	EvRollback   EventKind = "rollback"
+)
+
+// Event is one event-log entry. Request kinds carry the Verdict; platform
+// notifications (quarantine, canary outcomes) carry only the stream.
+type Event struct {
+	At      sim.Time
+	Kind    EventKind
+	Stream  string
+	Verdict *Verdict
+}
+
+// AddRequest asks to admit a new stream.
+type AddRequest struct {
+	// Spec describes the platform-level stream; Spec.Block is ignored (the
+	// controller computes ηs) and Spec.StartSuspended is forced (the new
+	// slot activates atomically with the survivors' new sizes).
+	Spec mpsoc.StreamSpec
+	// Rate is the throughput constraint μs in samples per second.
+	Rate *big.Rat
+}
+
+// Config parameterises a Controller.
+type Config struct {
+	// Chain selects the controlled chain of the MultiSystem.
+	Chain int
+	// Model is the temporal model of the streams currently admitted, in
+	// gateway-slot order; its Block fields must match the running
+	// configuration. The controller owns the model from here on.
+	Model *core.System
+	// Decimations holds each admitted stream's decimation factor (block
+	// granularity); nil means all 1.
+	Decimations []int64
+	// PerSlotCost is the configuration-bus cost per reprogrammed slot.
+	PerSlotCost sim.Time
+	// ILPNodes bounds the exact re-solve's branch-and-bound tree
+	// (0 = solver default); WarmRounds bounds the fixed-point fallback
+	// (0 = 10k).
+	ILPNodes int
+	// WarmRounds bounds the warm-started fixed-point iteration.
+	WarmRounds int
+	// Engines builds the per-accelerator engine set for a stream admitted
+	// from a script (Play); direct AddStream callers supply engines in the
+	// request spec instead.
+	Engines func(name string) []accel.Engine
+}
+
+// Controller is the admission control plane for one chain.
+type Controller struct {
+	ms  *mpsoc.MultiSystem
+	ci  int
+	cfg Config
+
+	model *core.System
+	// gwSlot[i] is the gateway slot of model stream i: the gateway's slot
+	// table only grows, while the model tracks the live set.
+	gwSlot []int
+	decim  []int64
+
+	// parked holds removed and quarantined streams eligible for Readmit.
+	parked map[string]*parkedStream
+
+	// pendingCanary is the in-flight readmission probe, if any.
+	pendingCanary *canaryProbe
+
+	busy   bool
+	events []Event
+}
+
+type parkedStream struct {
+	slot        int
+	rate        *big.Rat
+	reconfig    uint64
+	decimation  int64
+	quarantined bool
+}
+
+type canaryProbe struct {
+	name string
+	slot int
+	// prev is the survivors' assignment before the readmission, for the
+	// rollback transition after a failed canary.
+	prev []BlockAssignment
+}
+
+// New attaches a controller to one chain of a running platform. The model
+// must list the chain's current streams in slot order with their running
+// block sizes.
+func New(ms *mpsoc.MultiSystem, cfg Config) (*Controller, error) {
+	if cfg.Chain < 0 || cfg.Chain >= len(ms.Chains) {
+		return nil, fmt.Errorf("admission: chain %d out of range", cfg.Chain)
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("admission: nil model")
+	}
+	ch := ms.Chains[cfg.Chain]
+	if len(cfg.Model.Streams) != len(ch.Strs) {
+		return nil, fmt.Errorf("admission: model has %d streams, chain has %d",
+			len(cfg.Model.Streams), len(ch.Strs))
+	}
+	decim := cfg.Decimations
+	if decim == nil {
+		decim = make([]int64, len(ch.Strs))
+		for i := range decim {
+			decim[i] = 1
+		}
+	}
+	if len(decim) != len(ch.Strs) {
+		return nil, fmt.Errorf("admission: %d decimations for %d streams", len(decim), len(ch.Strs))
+	}
+	for i := range cfg.Model.Streams {
+		if cfg.Model.Streams[i].Block != ch.Strs[i].GW.Block {
+			return nil, fmt.Errorf("admission: model stream %q block %d != running %d",
+				cfg.Model.Streams[i].Name, cfg.Model.Streams[i].Block, ch.Strs[i].GW.Block)
+		}
+	}
+	c := &Controller{
+		ms: ms, ci: cfg.Chain, cfg: cfg,
+		model:  cfg.Model,
+		decim:  append([]int64(nil), decim...),
+		parked: map[string]*parkedStream{},
+	}
+	for i := range cfg.Model.Streams {
+		c.gwSlot = append(c.gwSlot, i)
+	}
+	ch.Pair.SetQuarantineObserver(c.onQuarantine)
+	ch.Pair.SetCanaryHook(c.onCanary)
+	return c, nil
+}
+
+// Events returns the decision log (append-only; do not mutate).
+func (c *Controller) Events() []Event { return c.events }
+
+// Model returns the controller's live temporal model (read-only).
+func (c *Controller) Model() *core.System { return c.model }
+
+func (c *Controller) chain() *mpsoc.Chain { return c.ms.Chains[c.ci] }
+
+func (c *Controller) now() sim.Time { return c.ms.K.Now() }
+
+func (c *Controller) record(kind EventKind, stream string, v *Verdict) {
+	c.events = append(c.events, Event{At: c.now(), Kind: kind, Stream: stream, Verdict: v})
+}
+
+func (c *Controller) reject(kind EventKind, stream string, reason Reason, detail string, done func(Verdict)) {
+	v := Verdict{Accepted: false, Reason: reason, Detail: detail}
+	c.record(kind, stream, &v)
+	if done != nil {
+		done(v)
+	}
+}
+
+// modelIndex returns the model index of the named live stream, or -1.
+func (c *Controller) modelIndex(name string) int {
+	for i := range c.model.Streams {
+		if c.model.Streams[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// assignment renders the model-ordered blocks as a verdict assignment.
+func assignment(model *core.System, blocks []int64) []BlockAssignment {
+	out := make([]BlockAssignment, len(blocks))
+	for i := range blocks {
+		out[i] = BlockAssignment{Name: model.Streams[i].Name, Block: blocks[i]}
+	}
+	return out
+}
+
+// solve runs the incremental Algorithm 1 over the candidate model: the
+// budgeted exact ILP first, the warm-started fixed point when the budget
+// runs out or when granularity constraints rule the ILP out. start, when
+// non-nil, must be a sound warm start (≤ the new least fixed point —
+// valid after stream additions, nil after removals).
+func (c *Controller) solve(model *core.System, start, granularity []int64) (*core.BlockSizeResult, bool, error) {
+	plain := true
+	for _, g := range granularity {
+		if g > 1 {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		res, err := model.ComputeBlockSizesILPBudget(c.cfg.ILPNodes)
+		if err == nil || !errors.Is(err, ilp.ErrBranchBudget) {
+			return res, false, err
+		}
+	}
+	res, err := model.ComputeBlockSizesWarm(start, granularity, c.cfg.WarmRounds)
+	return res, true, err
+}
+
+// checkBuffers verifies every candidate stream's C-FIFOs against the
+// bounds its new ηs implies: the input FIFO must hold one claimed block
+// plus a worst-case service interval of arrivals (InputBufferBound), the
+// output FIFO one output block in flight plus one draining
+// (OutputBufferBound). caps[i] is the (in, out) capacity pair.
+func checkBuffers(model *core.System, decim []int64, caps [][2]int) (string, error) {
+	for i := range model.Streams {
+		inB, err := model.InputBufferBound(i)
+		if err != nil {
+			return "", err
+		}
+		if int64(caps[i][0]) < inB {
+			return fmt.Sprintf("stream %q input FIFO %d < bound %d",
+				model.Streams[i].Name, caps[i][0], inB), nil
+		}
+		outB, err := model.OutputBufferBound(i, decim[i])
+		if err != nil {
+			return "", err
+		}
+		if int64(caps[i][1]) < outB {
+			return fmt.Sprintf("stream %q output FIFO %d < bound %d",
+				model.Streams[i].Name, caps[i][1], outB), nil
+		}
+	}
+	return "", nil
+}
+
+// transitionBound is the drain-plus-bus envelope for one transition over
+// the OUTGOING configuration: the pause can wait for one in-flight block
+// of the slowest stream (τ̂s covers its reconfiguration, streaming and
+// flush), then the bus transaction reprograms `slots` slots.
+func (c *Controller) transitionBound(slots int) uint64 {
+	var maxTau uint64
+	for i := range c.model.Streams {
+		if t, err := c.model.TauHat(i); err == nil && t > maxTau {
+			maxTau = t
+		}
+	}
+	return maxTau + uint64(c.cfg.PerSlotCost)*uint64(slots)
+}
+
+// rejectReason maps a solver error to a verdict reason.
+func rejectReason(err error) (Reason, string) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		return ReasonInfeasible, err.Error()
+	case errors.Is(err, core.ErrSolverBudget), errors.Is(err, ilp.ErrBranchBudget):
+		return ReasonSolverBudget, err.Error()
+	default:
+		return ReasonBadRequest, err.Error()
+	}
+}
+
+// AddStream requests admission of a new stream. The decision is made
+// immediately; when accepted, the staged transition (drain, attach +
+// reconfigure, resume) runs asynchronously and done fires with the final
+// verdict once the platform is streaming under the new configuration.
+// done fires immediately on rejection.
+func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
+	name := req.Spec.Name
+	if c.busy {
+		c.reject(EvAdd, name, ReasonBusy, "another transition is in flight", done)
+		return
+	}
+	if req.Rate == nil || req.Rate.Sign() <= 0 {
+		c.reject(EvAdd, name, ReasonBadRequest, "missing or non-positive rate", done)
+		return
+	}
+	if c.modelIndex(name) >= 0 || c.parked[name] != nil {
+		c.reject(EvAdd, name, ReasonBadRequest, "stream name already in use", done)
+		return
+	}
+	if c.chain().ReservedSlots() == 0 {
+		c.reject(EvAdd, name, ReasonNoSlot, "all reserved ring slots consumed", done)
+		return
+	}
+	decimation := req.Spec.Decimation
+	if decimation < 1 {
+		decimation = 1
+	}
+
+	// Candidate model: the live set plus the applicant.
+	cand := c.model.Clone()
+	cand.Streams = append(cand.Streams, core.Stream{
+		Name:     name,
+		Rate:     new(big.Rat).Set(req.Rate),
+		Reconfig: uint64(req.Spec.Reconfig),
+	})
+	granularity := append(append([]int64(nil), c.decim...), decimation)
+	// Adding a stream grows Algorithm 1's operator pointwise, so the
+	// running assignment is ≤ the new least fixed point: a sound warm
+	// start.
+	start := make([]int64, len(cand.Streams))
+	for i := range c.model.Streams {
+		start[i] = c.model.Streams[i].Block
+	}
+	start[len(start)-1] = 1
+
+	res, viaFP, err := c.solve(cand, start, granularity)
+	if err != nil {
+		reason, detail := rejectReason(err)
+		c.reject(EvAdd, name, reason, detail, done)
+		return
+	}
+	for i, b := range res.Blocks {
+		cand.Streams[i].Block = b
+	}
+	caps := c.liveCaps()
+	caps = append(caps, [2]int{req.Spec.InCapacity, req.Spec.OutCapacity})
+	if detail, err := checkBuffers(cand, granularity, caps); err != nil {
+		c.reject(EvAdd, name, ReasonBadRequest, err.Error(), done)
+		return
+	} else if detail != "" {
+		c.reject(EvAdd, name, ReasonBufferBound, detail, done)
+		return
+	}
+
+	v := Verdict{
+		Accepted:    true,
+		Reason:      ReasonAdmitted,
+		Blocks:      assignment(cand, res.Blocks),
+		FixedPoint:  viaFP,
+		SolveRounds: res.Rounds,
+		BoundCycles: c.transitionBound(len(cand.Streams)),
+	}
+	spec := req.Spec
+	spec.Block = res.Blocks[len(res.Blocks)-1]
+	spec.Decimation = decimation
+	spec.StartSuspended = true
+
+	c.busy = true
+	requested := c.now()
+	pair := c.chain().Pair
+	err = pair.RequestPause(func() {
+		v.PauseWait = c.now() - requested
+		st, err := c.ms.AttachStream(c.ci, spec)
+		if err != nil {
+			pair.Resume()
+			c.busy = false
+			c.reject(EvAdd, name, ReasonBadRequest, err.Error(), done)
+			return
+		}
+		_ = st
+		newSlot := len(c.chain().Strs) - 1
+		updates := c.slotUpdates(cand, res.Blocks[:len(res.Blocks)-1])
+		updates = append(updates, gateway.SlotUpdate{Stream: newSlot, Activate: true})
+		v.BusCycles = uint64(c.cfg.PerSlotCost) * uint64(len(updates))
+		err = pair.ApplySlots(updates, c.cfg.PerSlotCost, func() {
+			pair.Resume()
+			// Commit the model only now: the platform runs the new ηs.
+			c.model = cand
+			c.decim = granularity
+			c.gwSlot = append(c.gwSlot, newSlot)
+			c.busy = false
+			c.record(EvAdd, name, &v)
+			if done != nil {
+				done(v)
+			}
+		})
+		if err != nil {
+			pair.Resume()
+			c.busy = false
+			c.reject(EvAdd, name, ReasonBadRequest, err.Error(), done)
+		}
+	})
+	if err != nil {
+		c.busy = false
+		c.reject(EvAdd, name, ReasonBusy, err.Error(), done)
+	}
+}
+
+// liveCaps collects the (in, out) FIFO capacities of the live streams in
+// model order.
+func (c *Controller) liveCaps() [][2]int {
+	ch := c.chain()
+	caps := make([][2]int, len(c.model.Streams))
+	for i, slot := range c.gwSlot {
+		caps[i] = [2]int{ch.Strs[slot].In.Capacity(), ch.Strs[slot].Out.Capacity()}
+	}
+	return caps
+}
+
+// slotUpdates builds the SetBlock/SetOutBlock updates that move the live
+// streams (model order) to the given blocks.
+func (c *Controller) slotUpdates(model *core.System, blocks []int64) []gateway.SlotUpdate {
+	var ups []gateway.SlotUpdate
+	for i, b := range blocks {
+		ups = append(ups, gateway.SlotUpdate{
+			Stream:      c.gwSlot[i],
+			SetBlock:    b,
+			SetOutBlock: b / c.decim[i],
+		})
+	}
+	return ups
+}
+
+// RemoveStream retires a live stream: its slot is suspended, its source
+// stopped, and the survivors' blocks re-solved from scratch (removal
+// shrinks the least fixed point, so the previous assignment is no longer
+// minimal — and no longer a sound warm start). The stream is parked and
+// can come back via Readmit.
+func (c *Controller) RemoveStream(name string, done func(Verdict)) {
+	if c.busy {
+		c.reject(EvRemove, name, ReasonBusy, "another transition is in flight", done)
+		return
+	}
+	idx := c.modelIndex(name)
+	if idx < 0 {
+		c.reject(EvRemove, name, ReasonUnknownStream, "stream is not live on this chain", done)
+		return
+	}
+	if len(c.model.Streams) == 1 {
+		c.reject(EvRemove, name, ReasonBadRequest, "cannot remove the last stream", done)
+		return
+	}
+	slot := c.gwSlot[idx]
+	cand := c.model.Clone()
+	cand.Streams = append(cand.Streams[:idx], cand.Streams[idx+1:]...)
+	granularity := append([]int64(nil), c.decim[:idx]...)
+	granularity = append(granularity, c.decim[idx+1:]...)
+	gwSlots := append([]int(nil), c.gwSlot[:idx]...)
+	gwSlots = append(gwSlots, c.gwSlot[idx+1:]...)
+
+	res, viaFP, err := c.solve(cand, nil, granularity)
+	if err != nil {
+		reason, detail := rejectReason(err)
+		c.reject(EvRemove, name, reason, detail, done)
+		return
+	}
+	for i, b := range res.Blocks {
+		cand.Streams[i].Block = b
+	}
+	v := Verdict{
+		Accepted:    true,
+		Reason:      ReasonAdmitted,
+		Blocks:      assignment(cand, res.Blocks),
+		FixedPoint:  viaFP,
+		SolveRounds: res.Rounds,
+		BoundCycles: c.transitionBound(len(c.model.Streams)),
+	}
+	parked := &parkedStream{
+		slot:       slot,
+		rate:       new(big.Rat).Set(c.model.Streams[idx].Rate),
+		reconfig:   c.model.Streams[idx].Reconfig,
+		decimation: c.decim[idx],
+	}
+
+	c.busy = true
+	requested := c.now()
+	pair := c.chain().Pair
+	err = pair.RequestPause(func() {
+		v.PauseWait = c.now() - requested
+		prevSlots := c.gwSlot
+		c.gwSlot = gwSlots // slotUpdates addresses the survivor set
+		prevDecim := c.decim
+		c.decim = granularity
+		updates := c.slotUpdates(cand, res.Blocks)
+		updates = append(updates, gateway.SlotUpdate{Stream: slot, Suspend: true})
+		v.BusCycles = uint64(c.cfg.PerSlotCost) * uint64(len(updates))
+		err := pair.ApplySlots(updates, c.cfg.PerSlotCost, func() {
+			pair.Resume()
+			c.chain().Strs[slot].StopSource()
+			c.model = cand
+			c.parked[name] = parked
+			c.busy = false
+			c.record(EvRemove, name, &v)
+			if done != nil {
+				done(v)
+			}
+		})
+		if err != nil {
+			c.gwSlot = prevSlots
+			c.decim = prevDecim
+			pair.Resume()
+			c.busy = false
+			c.reject(EvRemove, name, ReasonBadRequest, err.Error(), done)
+		}
+	})
+	if err != nil {
+		c.busy = false
+		c.reject(EvRemove, name, ReasonBusy, err.Error(), done)
+	}
+}
+
+// onQuarantine is the gateway's quarantine observer: the platform removed
+// the stream from arbitration on its own (fault recovery exhausted the
+// retry budget), so the controller parks it and shrinks the model. The
+// survivors keep their ηs — with one stream gone every γ̂ only shrinks, so
+// the running assignment stays feasible without a transition.
+func (c *Controller) onQuarantine(slot int) {
+	for i, s := range c.gwSlot {
+		if s != slot {
+			continue
+		}
+		name := c.model.Streams[i].Name
+		if c.pendingCanary != nil && c.pendingCanary.name == name {
+			return // canary failure: onCanary handles the rollback
+		}
+		c.parked[name] = &parkedStream{
+			slot:        slot,
+			rate:        new(big.Rat).Set(c.model.Streams[i].Rate),
+			reconfig:    c.model.Streams[i].Reconfig,
+			decimation:  c.decim[i],
+			quarantined: true,
+		}
+		c.model.Streams = append(c.model.Streams[:i], c.model.Streams[i+1:]...)
+		c.decim = append(c.decim[:i], c.decim[i+1:]...)
+		c.gwSlot = append(c.gwSlot[:i], c.gwSlot[i+1:]...)
+		c.record(EvQuarantine, name, nil)
+		return
+	}
+}
+
+// Readmit probes a parked (quarantined or removed) stream back into
+// service. The re-solve treats it as a new addition (warm start valid);
+// the transition unquarantines the slot with Probation set, so the
+// stream's first block is a canary: one clean completion confirms the
+// readmission, one stall re-quarantines it immediately and the controller
+// rolls the survivors back.
+func (c *Controller) Readmit(name string, done func(Verdict)) {
+	if c.busy {
+		c.reject(EvReadmit, name, ReasonBusy, "another transition is in flight", done)
+		return
+	}
+	if c.pendingCanary != nil {
+		c.reject(EvReadmit, name, ReasonBusy, "a canary probe is already in flight", done)
+		return
+	}
+	p := c.parked[name]
+	if p == nil {
+		if c.modelIndex(name) >= 0 {
+			c.reject(EvReadmit, name, ReasonNotQuarantined, "stream is live", done)
+		} else {
+			c.reject(EvReadmit, name, ReasonUnknownStream, "stream was never admitted", done)
+		}
+		return
+	}
+
+	cand := c.model.Clone()
+	cand.Streams = append(cand.Streams, core.Stream{
+		Name:     name,
+		Rate:     new(big.Rat).Set(p.rate),
+		Reconfig: p.reconfig,
+	})
+	granularity := append(append([]int64(nil), c.decim...), p.decimation)
+	start := make([]int64, len(cand.Streams))
+	for i := range c.model.Streams {
+		start[i] = c.model.Streams[i].Block
+	}
+	start[len(start)-1] = 1
+
+	res, viaFP, err := c.solve(cand, start, granularity)
+	if err != nil {
+		reason, detail := rejectReason(err)
+		c.reject(EvReadmit, name, reason, detail, done)
+		return
+	}
+	for i, b := range res.Blocks {
+		cand.Streams[i].Block = b
+	}
+	ch := c.chain()
+	caps := c.liveCaps()
+	caps = append(caps, [2]int{ch.Strs[p.slot].In.Capacity(), ch.Strs[p.slot].Out.Capacity()})
+	if detail, err := checkBuffers(cand, granularity, caps); err != nil {
+		c.reject(EvReadmit, name, ReasonBadRequest, err.Error(), done)
+		return
+	} else if detail != "" {
+		c.reject(EvReadmit, name, ReasonBufferBound, detail, done)
+		return
+	}
+
+	v := Verdict{
+		Accepted:    true,
+		Reason:      ReasonAdmitted,
+		Blocks:      assignment(cand, res.Blocks),
+		FixedPoint:  viaFP,
+		SolveRounds: res.Rounds,
+		BoundCycles: c.transitionBound(len(cand.Streams)),
+	}
+	prev := assignment(c.model, blocksOf(c.model))
+	quarantined := p.quarantined
+
+	c.busy = true
+	requested := c.now()
+	pair := ch.Pair
+	err = pair.RequestPause(func() {
+		v.PauseWait = c.now() - requested
+		updates := c.slotUpdates(cand, res.Blocks[:len(res.Blocks)-1])
+		if quarantined {
+			updates = append(updates, gateway.SlotUpdate{Stream: p.slot, Unquarantine: true, Probation: true})
+		} else {
+			updates = append(updates, gateway.SlotUpdate{Stream: p.slot, Activate: true, Probation: true})
+		}
+		v.BusCycles = uint64(c.cfg.PerSlotCost) * uint64(len(updates))
+		err := pair.ApplySlots(updates, c.cfg.PerSlotCost, func() {
+			pair.Resume()
+			if !quarantined {
+				// A removed stream's source was stopped; restart it.
+				c.ms.ResumeSource(c.ci, p.slot)
+			}
+			c.model = cand
+			c.decim = granularity
+			c.gwSlot = append(c.gwSlot, p.slot)
+			delete(c.parked, name)
+			c.pendingCanary = &canaryProbe{name: name, slot: p.slot, prev: prev}
+			c.busy = false
+			c.record(EvReadmit, name, &v)
+			if done != nil {
+				done(v)
+			}
+		})
+		if err != nil {
+			pair.Resume()
+			c.busy = false
+			c.reject(EvReadmit, name, ReasonBadRequest, err.Error(), done)
+		}
+	})
+	if err != nil {
+		c.busy = false
+		c.reject(EvReadmit, name, ReasonBusy, err.Error(), done)
+	}
+}
+
+func blocksOf(model *core.System) []int64 {
+	out := make([]int64, len(model.Streams))
+	for i := range model.Streams {
+		out[i] = model.Streams[i].Block
+	}
+	return out
+}
+
+// onCanary resolves a pending readmission probe: a clean canary confirms
+// the new configuration; a stall means the gateway already re-quarantined
+// the stream, and the controller parks it again and rolls the survivors
+// back to their previous ηs with another staged transition.
+func (c *Controller) onCanary(slot int, ok bool) {
+	p := c.pendingCanary
+	if p == nil || p.slot != slot {
+		return
+	}
+	c.pendingCanary = nil
+	if ok {
+		c.record(EvCanaryPass, p.name, nil)
+		return
+	}
+	c.record(EvCanaryFail, p.name, nil)
+	// The gateway re-quarantined the slot; shrink the model again.
+	idx := c.modelIndex(p.name)
+	if idx < 0 {
+		return
+	}
+	c.parked[p.name] = &parkedStream{
+		slot:        slot,
+		rate:        new(big.Rat).Set(c.model.Streams[idx].Rate),
+		reconfig:    c.model.Streams[idx].Reconfig,
+		decimation:  c.decim[idx],
+		quarantined: true,
+	}
+	c.model.Streams = append(c.model.Streams[:idx], c.model.Streams[idx+1:]...)
+	c.decim = append(c.decim[:idx], c.decim[idx+1:]...)
+	c.gwSlot = append(c.gwSlot[:idx], c.gwSlot[idx+1:]...)
+	// Roll the survivors back to the assignment that held before the
+	// failed readmission (it was feasible then; with the probed stream
+	// gone again it is feasible now).
+	prev := p.prev
+	v := Verdict{
+		Accepted:    true,
+		Reason:      ReasonAdmitted,
+		Blocks:      prev,
+		BoundCycles: c.transitionBound(len(prev)),
+	}
+	c.busy = true
+	requested := c.now()
+	pair := c.chain().Pair
+	err := pair.RequestPause(func() {
+		v.PauseWait = c.now() - requested
+		blocks := make([]int64, len(prev))
+		for i := range prev {
+			blocks[i] = prev[i].Block
+		}
+		updates := c.slotUpdates(c.model, blocks)
+		v.BusCycles = uint64(c.cfg.PerSlotCost) * uint64(len(updates))
+		err := pair.ApplySlots(updates, c.cfg.PerSlotCost, func() {
+			pair.Resume()
+			for i := range c.model.Streams {
+				c.model.Streams[i].Block = blocks[i]
+			}
+			c.busy = false
+			c.record(EvRollback, p.name, &v)
+		})
+		if err != nil {
+			pair.Resume()
+			c.busy = false
+		}
+	})
+	if err != nil {
+		c.busy = false
+	}
+}

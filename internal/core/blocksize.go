@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -53,6 +54,15 @@ func (s *System) FeasibleBlocks(blocks []int64) bool {
 //
 // where c0 = max(ε, ρA, δ) and c1 = Σ Ri (see C1 for why the sum).
 func (s *System) ComputeBlockSizesILP() (*BlockSizeResult, error) {
+	return s.ComputeBlockSizesILPBudget(0)
+}
+
+// ComputeBlockSizesILPBudget is ComputeBlockSizesILP under a branch-and-
+// bound node budget (0 = the solver default). When the budget runs out the
+// underlying ilp.ErrBranchBudget is returned; online admission control
+// catches it and falls back to ComputeBlockSizesWarm, so a hard re-solve
+// can never stall the control plane.
+func (s *System) ComputeBlockSizesILPBudget(maxNodes int) (*BlockSizeResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,6 +72,7 @@ func (s *System) ComputeBlockSizesILP() (*BlockSizeResult, error) {
 	n := len(s.Streams)
 	one := big.NewRat(1, 1)
 	p := ilp.NewMinimize()
+	p.MaxNodes = maxNodes
 	for i := range s.Streams {
 		p.AddVar("eta."+s.Streams[i].Name, one, true)
 	}
@@ -258,6 +269,104 @@ func (s *System) ComputeBlockSizesRounded(granularity []int64) (*BlockSizeResult
 		}
 	}
 	return nil, fmt.Errorf("core: rounded fixed point did not converge: %w", ErrInfeasible)
+}
+
+// ErrSolverBudget is returned by ComputeBlockSizesWarm when the iteration
+// budget runs out before the fixed point is reached. It is distinct from
+// ErrInfeasible: the constraints may well be satisfiable, the solver was
+// just not given enough rounds to prove it — admission control reports the
+// two outcomes with different rejection reasons.
+var ErrSolverBudget = errors.New("core: block-size solver budget exhausted")
+
+// ComputeBlockSizesWarm is the incremental Algorithm 1: Kleene iteration of
+// the (granularity-rounded) operator F warm-started from a known lower
+// bound instead of from all-ones. Online admission control uses it to
+// re-solve after a stream-set change in a handful of rounds: when streams
+// are only ADDED to the set the operator grows pointwise, so the previous
+// least fixed point is still ≤ the new one and is a sound warm start (after
+// a removal the LFP shrinks, so pass nil and restart from ones).
+//
+//   - start, when non-nil, seeds the iteration (entries are clamped up to 1);
+//     it MUST be ≤ the least fixed point componentwise or the iteration can
+//     land on a non-minimal fixed point.
+//   - granularity, when non-nil, constrains ηs to multiples of
+//     granularity[s] (cf. ComputeBlockSizesRounded); nil means unconstrained.
+//   - maxRounds bounds the iteration (0 = 10_000); exhausting it returns
+//     ErrSolverBudget.
+//
+// Unlike ComputeBlockSizes*, the result is NOT stored into the streams —
+// the caller decides whether (and when) to apply the new configuration.
+func (s *System) ComputeBlockSizesWarm(start, granularity []int64, maxRounds int) (*BlockSizeResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Streams)
+	if start != nil && len(start) != n {
+		return nil, fmt.Errorf("core: %d warm-start entries for %d streams", len(start), n)
+	}
+	if granularity != nil && len(granularity) != n {
+		return nil, fmt.Errorf("core: %d granularities for %d streams", len(granularity), n)
+	}
+	if s.Utilization().Cmp(big.NewRat(1, 1)) >= 0 {
+		return nil, ErrInfeasible
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10_000
+	}
+	roundUp := func(v int64, i int) int64 {
+		if granularity == nil || granularity[i] <= 1 {
+			return v
+		}
+		if rem := v % granularity[i]; rem != 0 {
+			v += granularity[i] - rem
+		}
+		return v
+	}
+	c0 := new(big.Rat).SetInt64(int64(s.Chain.C0()))
+	c1 := new(big.Rat).SetInt64(int64(s.C1()))
+	eta := make([]int64, n)
+	for i := range eta {
+		v := int64(1)
+		if start != nil && start[i] > v {
+			v = start[i]
+		}
+		eta[i] = roundUp(v, i)
+	}
+	for round := 1; round <= maxRounds; round++ {
+		sum := new(big.Rat)
+		for _, b := range eta {
+			sum.Add(sum, new(big.Rat).SetInt64(b+2))
+		}
+		changed := false
+		next := make([]int64, n)
+		for i := range s.Streams {
+			rhs := new(big.Rat).Add(c1, new(big.Rat).Mul(c0, sum))
+			rhs.Mul(rhs, s.RatePerCycle(i))
+			v := ratCeil(rhs)
+			if v < 1 {
+				v = 1
+			}
+			v = roundUp(v, i)
+			// A warm start above F(start) must not shrink: the iterate stays
+			// an upper set of the seed, keeping convergence monotone.
+			if v < eta[i] {
+				v = eta[i]
+			}
+			next[i] = v
+			if v != eta[i] {
+				changed = true
+			}
+		}
+		copy(eta, next)
+		if !changed {
+			res := &BlockSizeResult{Blocks: eta, Rounds: round}
+			for _, b := range eta {
+				res.Total += b
+			}
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no fixed point within %d rounds: %w", maxRounds, ErrSolverBudget)
 }
 
 // ratCeil returns ⌈r⌉ as int64. big.Int.Div floors (for the always-positive

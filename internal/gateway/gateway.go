@@ -206,6 +206,16 @@ type Stream struct {
 	RetryCount    uint64
 	Quarantined   bool
 	QuarantinedAt sim.Time
+	// Suspended removes the stream from arbitration by admission-control
+	// decision — distinct from fault quarantine, which is involuntary and
+	// carries retry history. Set it only through ApplySlots (or before
+	// AddStreamLive), never while the stream's block is in flight.
+	Suspended bool
+	// Probation marks a readmitted stream whose next block is a canary: one
+	// clean completion clears the flag (canary passed), one stall skips the
+	// retry budget and re-quarantines immediately (canary failed). The
+	// pair's canary hook observes both edges.
+	Probation bool
 	// Turnarounds holds one record per completed block (RecordTurnarounds).
 	Turnarounds []BlockRecord
 }
@@ -287,6 +297,20 @@ type Pair struct {
 	lastStreamStart sim.Time
 	startTime       sim.Time
 	started         bool
+
+	// Admission-control state: paused stops arbitration at the next block
+	// boundary (RequestPause/Resume); pauseCb is the pending drain callback;
+	// the hooks let an external controller observe canary and quarantine
+	// edges without owning the Config.
+	paused       bool
+	pauseCb      func()
+	onCanary     func(stream int, ok bool)
+	onQuarantine func(stream int)
+
+	// SlotCycles accounts configuration-bus cycles spent reprogramming
+	// stream slots during admission-control mode transitions (kept apart
+	// from ReconfigCycles, which is per-block context switching).
+	SlotCycles uint64
 
 	// Activities is the recorded span trace (when cfg.RecordActivity).
 	Activities []Activity
@@ -370,11 +394,11 @@ func (p *Pair) Start() {
 	p.step.Wake()
 }
 
-// ready reports whether stream i can be served now: not quarantined, full
-// input block, reserved output space.
+// ready reports whether stream i can be served now: not quarantined or
+// suspended, full input block, reserved output space.
 func (p *Pair) ready(i int) bool {
 	s := p.streams[i]
-	if s.Quarantined {
+	if s.Quarantined || s.Suspended {
 		return false
 	}
 	if s.In.Len() < int(s.Block) {
@@ -390,7 +414,7 @@ func (p *Pair) ready(i int) bool {
 // turnaround (γs) measurement against Eq. 4.
 func (p *Pair) trackQueued() {
 	for i, s := range p.streams {
-		if s.Quarantined {
+		if s.Quarantined || s.Suspended {
 			continue
 		}
 		if !s.queued && p.ready(i) && !(p.state != stIdle && i == p.active) {
@@ -408,6 +432,18 @@ func (p *Pair) entryRun() {
 	p.trackQueued()
 	switch p.state {
 	case stIdle:
+		// A pending pause wins over arbitration: the pair is at a block
+		// boundary (drained), so the mode transition can begin.
+		if p.pauseCb != nil {
+			cb := p.pauseCb
+			p.pauseCb = nil
+			p.paused = true
+			cb()
+			return
+		}
+		if p.paused {
+			return
+		}
 		p.tryStart()
 	case stStreaming:
 		p.pump()
@@ -683,6 +719,12 @@ func (p *Pair) completeFlush() {
 	}
 	p.recordActivity(ActFlush)
 	s := p.streams[p.active]
+	if s.Probation {
+		// The canary block stalled: no retry budget on probation — the
+		// transient-fault hypothesis is refuted, back to quarantine.
+		p.quarantine()
+		return
+	}
 	if p.blockRetries >= p.cfg.Recovery.RetryLimit {
 		p.quarantine()
 		return
@@ -742,6 +784,8 @@ func (p *Pair) retryBlock() {
 // set and their bounds hold again — graceful degradation.
 func (p *Pair) quarantine() {
 	s := p.streams[p.active]
+	wasCanary := s.Probation
+	s.Probation = false
 	s.Quarantined = true
 	s.QuarantinedAt = p.k.Now()
 	s.queued = false
@@ -751,6 +795,12 @@ func (p *Pair) quarantine() {
 	p.state = stIdle
 	if p.cfg.Recovery.OnQuarantine != nil {
 		p.cfg.Recovery.OnQuarantine(p.active)
+	}
+	if p.onQuarantine != nil {
+		p.onQuarantine(p.active)
+	}
+	if wasCanary && p.onCanary != nil {
+		p.onCanary(p.active, false)
 	}
 	p.step.Wake()
 }
@@ -887,6 +937,13 @@ func (p *Pair) onPipelineIdle(streamIdx int) {
 	}
 	p.blockEpoch++ // completed: cancel this block's pending timers/events
 	p.state = stIdle
+	if s.Probation {
+		// Canary block completed cleanly: the stream is a full member again.
+		s.Probation = false
+		if p.onCanary != nil {
+			p.onCanary(p.active, true)
+		}
+	}
 	p.step.Wake()
 }
 
@@ -896,7 +953,7 @@ func (p *Pair) onPipelineIdle(streamIdx int) {
 // cannot see a block that is never served.
 func (p *Pair) PendingWait(s int) sim.Time {
 	st := p.streams[s]
-	if st.Quarantined || !st.queued || (p.state != stIdle && s == p.active) {
+	if st.Quarantined || st.Suspended || !st.queued || (p.state != stIdle && s == p.active) {
 		return 0
 	}
 	return p.k.Now() - st.queuedAt
@@ -910,3 +967,183 @@ func (p *Pair) Busy() (total, reconfig, streaming uint64) {
 
 // Tiles returns the managed accelerator tiles.
 func (p *Pair) Tiles() []*accel.Tile { return p.tiles }
+
+// ---------------------------------------------------------------------------
+// Online admission control: pause/resume, slot reprogramming, live attach.
+//
+// The paper sizes ηs once, offline; a service under live traffic must change
+// the stream set while blocks are flowing. The contract is a staged mode
+// transition: drain to a block boundary (RequestPause), reprogram the stream
+// slots over the configuration bus (ApplySlots, optionally AddStreamLive for
+// a brand-new slot), resume (Resume). Between pause and resume the pipeline
+// is provably idle — the same invariant the per-block engine swap relies
+// on — so no in-flight block can observe a half-applied configuration.
+// ---------------------------------------------------------------------------
+
+// RequestPause asks the entry gateway to stop arbitration at the next block
+// boundary and call fn once drained (immediately when already idle). Only
+// one pause may be pending or active at a time. While a pause is pending
+// the in-flight block — including any recovery retries it needs — runs to
+// completion; sources keep filling the input C-FIFOs.
+func (p *Pair) RequestPause(fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("gateway %s: nil pause callback", p.cfg.Name)
+	}
+	if p.paused || p.pauseCb != nil {
+		return fmt.Errorf("gateway %s: pause already pending or active", p.cfg.Name)
+	}
+	p.pauseCb = fn
+	p.step.Wake()
+	return nil
+}
+
+// Resume re-arms arbitration after a mode transition.
+func (p *Pair) Resume() {
+	p.paused = false
+	p.step.Wake()
+}
+
+// Paused reports whether the pair is drained and holding arbitration.
+func (p *Pair) Paused() bool { return p.paused }
+
+// SlotUpdate reprograms one stream slot during a paused mode transition.
+// Zero-valued fields leave the corresponding setting untouched.
+type SlotUpdate struct {
+	Stream int
+	// SetBlock/SetOutBlock, when positive, reprogram ηs and the per-block
+	// output sample count.
+	SetBlock, SetOutBlock int64
+	// Suspend removes the slot from arbitration; Activate returns it.
+	Suspend, Activate bool
+	// Unquarantine clears a fault quarantine; with Probation the stream's
+	// next block is a canary (see Stream.Probation).
+	Unquarantine bool
+	Probation    bool
+}
+
+// ApplySlots reprograms stream slots over the configuration bus. The pair
+// must be paused (RequestPause completed): the transition is itself a
+// bus transaction of perSlotCost cycles per touched slot — the cost is
+// accounted in SlotCycles and done runs when the transfer completes. The
+// updates are validated up front so a half-applied transition is
+// impossible.
+func (p *Pair) ApplySlots(updates []SlotUpdate, perSlotCost sim.Time, done func()) error {
+	if !p.paused {
+		return fmt.Errorf("gateway %s: ApplySlots requires a paused pair", p.cfg.Name)
+	}
+	for _, u := range updates {
+		if u.Stream < 0 || u.Stream >= len(p.streams) {
+			return fmt.Errorf("gateway %s: slot %d out of range", p.cfg.Name, u.Stream)
+		}
+		s := p.streams[u.Stream]
+		blk, out := s.Block, s.OutBlock
+		if u.SetBlock > 0 {
+			blk = u.SetBlock
+		}
+		if u.SetOutBlock > 0 {
+			out = u.SetOutBlock
+		}
+		if blk <= 0 || out <= 0 {
+			return fmt.Errorf("gateway %s: slot %q would get block %d/out %d", p.cfg.Name, s.Name, blk, out)
+		}
+		if s.In.Capacity() < int(blk) {
+			return fmt.Errorf("gateway %s: slot %q input FIFO %d < block %d", p.cfg.Name, s.Name, s.In.Capacity(), blk)
+		}
+		if s.Out.Capacity() < int(out) {
+			return fmt.Errorf("gateway %s: slot %q output FIFO %d < out-block %d", p.cfg.Name, s.Name, s.Out.Capacity(), out)
+		}
+	}
+	cost := perSlotCost * sim.Time(len(updates))
+	p.SlotCycles += uint64(cost)
+	p.bus.TransferCycles(cost, func() {
+		for _, u := range updates {
+			s := p.streams[u.Stream]
+			if u.SetBlock > 0 {
+				s.Block = u.SetBlock
+			}
+			if u.SetOutBlock > 0 {
+				s.OutBlock = u.SetOutBlock
+			}
+			if u.Suspend {
+				s.Suspended = true
+				s.queued = false
+			}
+			if u.Activate {
+				s.Suspended = false
+			}
+			if u.Unquarantine {
+				s.Quarantined = false
+			}
+			if u.Probation {
+				s.Probation = true
+			}
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// AddStreamLive registers a stream slot on a running, paused pair. The
+// drain guarantees arbitration state is quiescent, so the slot table can
+// grow without racing an in-flight block. Start the slot Suspended and
+// activate it in the same ApplySlots transaction that sizes the survivor
+// slots, so the new stream becomes eligible atomically with the new ηs.
+func (p *Pair) AddStreamLive(s *Stream) (int, error) {
+	if !p.paused {
+		return 0, fmt.Errorf("gateway %s: AddStreamLive requires a paused pair", p.cfg.Name)
+	}
+	if err := p.AddStream(s); err != nil {
+		return 0, err
+	}
+	return len(p.streams) - 1, nil
+}
+
+// SetCanaryHook installs fn to observe canary (probation) outcomes: ok is
+// true when the canary block completed cleanly, false when it stalled and
+// the stream went back to quarantine.
+func (p *Pair) SetCanaryHook(fn func(stream int, ok bool)) { p.onCanary = fn }
+
+// SetQuarantineObserver installs fn to observe quarantine events in
+// addition to Config.Recovery.OnQuarantine (which belongs to the platform
+// builder, not to the admission controller).
+func (p *Pair) SetQuarantineObserver(fn func(stream int)) { p.onQuarantine = fn }
+
+// StreamSnapshot is the externally consumable per-stream counter set: one
+// struct instead of a handful of individually poked fields, shared by the
+// admission controller, the platform reports and the fault campaign.
+type StreamSnapshot struct {
+	Name                          string
+	Block, OutBlock               int64
+	Blocks, SamplesIn, SamplesOut uint64
+	Stalls, Retries               uint64
+	Quarantined                   bool
+	QuarantinedAt                 sim.Time
+	Suspended                     bool
+	Probation                     bool
+	MaxTurnaround                 sim.Time
+}
+
+// Snapshot returns the per-stream recovery/progress counters.
+func (p *Pair) Snapshot() []StreamSnapshot {
+	out := make([]StreamSnapshot, len(p.streams))
+	for i, s := range p.streams {
+		out[i] = StreamSnapshot{
+			Name:          s.Name,
+			Block:         s.Block,
+			OutBlock:      s.OutBlock,
+			Blocks:        s.Blocks,
+			SamplesIn:     s.SamplesIn,
+			SamplesOut:    s.SamplesOut,
+			Stalls:        s.StallCount,
+			Retries:       s.RetryCount,
+			Quarantined:   s.Quarantined,
+			QuarantinedAt: s.QuarantinedAt,
+			Suspended:     s.Suspended,
+			Probation:     s.Probation,
+			MaxTurnaround: s.MaxTurnaround,
+		}
+	}
+	return out
+}

@@ -51,6 +51,11 @@ type Constraint struct {
 // bounds.
 type Problem struct {
 	Minimize bool
+	// MaxNodes bounds the branch-and-bound tree explored by SolveILP
+	// (0 = the default of 200k nodes). When the budget runs out the solve
+	// returns ErrBranchBudget — callers with a time budget (online admission
+	// control) catch it and fall back to an iterative solver.
+	MaxNodes int
 	names    []string
 	obj      []*big.Rat
 	cons     []Constraint
@@ -158,7 +163,7 @@ func (p *Problem) SolveILP() (*Solution, error) {
 	if !anyInt {
 		return p.SolveLP()
 	}
-	bb := &brancher{base: p}
+	bb := &brancher{base: p, maxNodes: p.MaxNodes}
 	sol, err := bb.run()
 	if err != nil {
 		return nil, err

@@ -61,6 +61,10 @@ type StreamSpec struct {
 	ExternalSource bool
 	// ExternalSink suppresses the built-in sink task likewise.
 	ExternalSink bool
+	// StartSuspended registers the gateway slot suspended (excluded from
+	// arbitration) so an admission controller can activate it atomically
+	// with the survivors' new block sizes in one ApplySlots transaction.
+	StartSuspended bool
 }
 
 // Config assembles a platform.
@@ -106,7 +110,17 @@ type Stream struct {
 	FirstOutputAt, LastOutputAt sim.Time
 	// InTimes records source-sample entry instants (RecordInputTimes).
 	InTimes []sim.Time
+
+	// sourceGen invalidates the running source task's tick loop: each
+	// StopSource/restart bumps it, so a pending tick of a superseded loop
+	// exits instead of racing a freshly started one.
+	sourceGen int
 }
+
+// StopSource makes the stream's built-in source task exit at its next tick,
+// so a removed stream stops feeding its input C-FIFO. ResumeSource on the
+// owning MultiSystem restarts it.
+func (st *Stream) StopSource() { st.sourceGen++ }
 
 // System is the assembled platform.
 type System struct {
@@ -185,7 +199,11 @@ func startSourceTask(k *sim.Kernel, st *Stream) {
 		return sim.Time(d)
 	}
 	var tick func()
+	taskGen := st.sourceGen
 	tick = func() {
+		if st.sourceGen != taskGen {
+			return
+		}
 		if st.Spec.TotalInputs > 0 && st.produced >= st.Spec.TotalInputs {
 			return
 		}

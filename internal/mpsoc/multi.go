@@ -37,8 +37,13 @@ type ChainSpec struct {
 	Faults *fault.Plan
 	// RecordTurnarounds keeps per-block latency records on every stream.
 	RecordTurnarounds bool
-	Accels            []AccelSpec
-	Streams           []StreamSpec
+	// ReserveSlots pre-provisions ring attachment points (one source and one
+	// sink tile each) for streams admitted at runtime via AttachStream. The
+	// ring topology is fixed in hardware, so online admission can only use
+	// slots that were reserved when the platform was built.
+	ReserveSlots int
+	Accels       []AccelSpec
+	Streams      []StreamSpec
 }
 
 // MultiConfig assembles a platform with several shared chains on one ring.
@@ -64,7 +69,15 @@ type Chain struct {
 	// gateway -> first tile, i = the link after tile i-1 (fault Site
 	// convention).
 	Links []*accel.Link
+	// EntryNode/ExitNode are the gateway pair's ring attachment points;
+	// reserved holds the pre-provisioned (source, sink) ring-node pairs
+	// still available to AttachStream (ChainSpec.ReserveSlots).
+	EntryNode, ExitNode int
+	reserved            [][2]int
 }
+
+// ReservedSlots reports how many runtime stream slots remain unclaimed.
+func (ch *Chain) ReservedSlots() int { return len(ch.reserved) }
 
 // MultiSystem is a platform with several gateway pairs.
 type MultiSystem struct {
@@ -89,7 +102,7 @@ func BuildMulti(cfg MultiConfig) (*MultiSystem, error) {
 		if len(ch.Streams) == 0 {
 			return nil, fmt.Errorf("mpsoc: chain %q has no streams", ch.Name)
 		}
-		total += 2 + len(ch.Accels) + 2*len(ch.Streams)
+		total += 2 + len(ch.Accels) + 2*(len(ch.Streams)+ch.ReserveSlots)
 	}
 	k := sim.NewKernel()
 	var net *ring.Dual
@@ -131,7 +144,7 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 	}
 	exitN := take()
 
-	ch := &Chain{Spec: spec}
+	ch := &Chain{Spec: spec, EntryNode: entryN, ExitNode: exitN}
 	for _, as := range spec.Accels {
 		ni := as.NICapacity
 		if ni == 0 {
@@ -190,60 +203,125 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 	ch.Pair = pair
 
 	for i := range spec.Streams {
-		ss := spec.Streams[i]
 		srcN := take()
 		sinkN := take()
-		if ss.Decimation < 1 {
-			ss.Decimation = 1
-		}
-		if ss.Block%ss.Decimation != 0 {
-			return nil, fmt.Errorf("stream %q block %d not a multiple of decimation %d",
-				ss.Name, ss.Block, ss.Decimation)
-		}
-		in, err := cfifo.New(k, net, cfifo.Config{
-			Name: ss.Name + ".in", Capacity: ss.InCapacity,
-			ProducerNode: srcN, ConsumerNode: entryN,
-			DataPort: 100 + i, AckPort: 100 + i,
-			AckBatch: ackBatch(ss.InCapacity),
-		})
+		st, err := buildStream(k, net, ch, spec.Streams[i], i, srcN, sinkN)
 		if err != nil {
 			return nil, err
-		}
-		out, err := cfifo.New(k, net, cfifo.Config{
-			Name: ss.Name + ".out", Capacity: ss.OutCapacity,
-			ProducerNode: exitN, ConsumerNode: sinkN,
-			DataPort: 100 + i, AckPort: 200 + i,
-			AckBatch: 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		engines := ss.Engines
-		if spec.Faults != nil && spec.Faults.EngineFaults(i) {
-			engines = spec.Faults.WrapEngines(i, engines)
-		}
-		st := &Stream{Spec: ss, In: in, Out: out}
-		st.GW = &gateway.Stream{
-			Name:     ss.Name,
-			Block:    ss.Block,
-			OutBlock: ss.Block / ss.Decimation,
-			Reconfig: ss.Reconfig,
-			In:       in,
-			Out:      out,
-			Engines:  engines,
 		}
 		if err := pair.AddStream(st.GW); err != nil {
 			return nil, err
 		}
 		ch.Strs = append(ch.Strs, st)
-		if !ss.ExternalSource {
-			startSourceTask(k, st)
-		}
-		if !ss.ExternalSink {
-			startSinkTask(k, st)
-		}
+		startStreamTasks(k, st)
+	}
+	for r := 0; r < spec.ReserveSlots; r++ {
+		srcN := take()
+		sinkN := take()
+		ch.reserved = append(ch.reserved, [2]int{srcN, sinkN})
 	}
 	return ch, nil
+}
+
+// buildStream wires one stream's C-FIFOs and gateway slot (without
+// registering it with the pair or starting its tasks): shared between
+// build-time assembly and runtime AttachStream.
+func buildStream(k *sim.Kernel, net *ring.Dual, ch *Chain, ss StreamSpec, idx, srcN, sinkN int) (*Stream, error) {
+	if ss.Decimation < 1 {
+		ss.Decimation = 1
+	}
+	if ss.Block%ss.Decimation != 0 {
+		return nil, fmt.Errorf("stream %q block %d not a multiple of decimation %d",
+			ss.Name, ss.Block, ss.Decimation)
+	}
+	in, err := cfifo.New(k, net, cfifo.Config{
+		Name: ss.Name + ".in", Capacity: ss.InCapacity,
+		ProducerNode: srcN, ConsumerNode: ch.EntryNode,
+		DataPort: 100 + idx, AckPort: 100 + idx,
+		AckBatch: ackBatch(ss.InCapacity),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := cfifo.New(k, net, cfifo.Config{
+		Name: ss.Name + ".out", Capacity: ss.OutCapacity,
+		ProducerNode: ch.ExitNode, ConsumerNode: sinkN,
+		DataPort: 100 + idx, AckPort: 200 + idx,
+		AckBatch: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engines := ss.Engines
+	if ch.Spec.Faults != nil && ch.Spec.Faults.EngineFaults(idx) {
+		engines = ch.Spec.Faults.WrapEngines(idx, engines)
+	}
+	st := &Stream{Spec: ss, In: in, Out: out}
+	st.GW = &gateway.Stream{
+		Name:      ss.Name,
+		Block:     ss.Block,
+		OutBlock:  ss.Block / ss.Decimation,
+		Reconfig:  ss.Reconfig,
+		In:        in,
+		Out:       out,
+		Engines:   engines,
+		Suspended: ss.StartSuspended,
+	}
+	return st, nil
+}
+
+// startStreamTasks launches the stream's source and sink tasks unless the
+// spec marks them external.
+func startStreamTasks(k *sim.Kernel, st *Stream) {
+	if !st.Spec.ExternalSource {
+		startSourceTask(k, st)
+	}
+	if !st.Spec.ExternalSink {
+		startSinkTask(k, st)
+	}
+}
+
+// AttachStream admits a new stream to a RUNNING chain using one of its
+// reserved ring slots. The chain's gateway pair must be paused at a block
+// boundary (gateway.RequestPause): the slot is registered Suspended when
+// ss.StartSuspended is set, so the admission controller can activate it
+// atomically with the survivors' new block sizes in one ApplySlots
+// transaction. The stream's source and sink tasks start immediately —
+// samples buffer in the input C-FIFO until the slot is activated.
+func (m *MultiSystem) AttachStream(chainIdx int, ss StreamSpec) (*Stream, error) {
+	if chainIdx < 0 || chainIdx >= len(m.Chains) {
+		return nil, fmt.Errorf("mpsoc: chain %d out of range", chainIdx)
+	}
+	ch := m.Chains[chainIdx]
+	if len(ch.reserved) == 0 {
+		return nil, fmt.Errorf("mpsoc: chain %q has no reserved stream slots", ch.Spec.Name)
+	}
+	nodes := ch.reserved[0]
+	idx := len(ch.Strs)
+	st, err := buildStream(m.K, m.Net, ch, ss, idx, nodes[0], nodes[1])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ch.Pair.AddStreamLive(st.GW); err != nil {
+		return nil, err
+	}
+	ch.reserved = ch.reserved[1:]
+	ch.Strs = append(ch.Strs, st)
+	startStreamTasks(m.K, st)
+	return st, nil
+}
+
+// ResumeSource (re)starts a stream's built-in source task after StopSource
+// (a readmitted stream starts producing again). Any still-running loop is
+// superseded, so calling it repeatedly leaves exactly one task.
+func (m *MultiSystem) ResumeSource(chainIdx, streamIdx int) {
+	ch := m.Chains[chainIdx]
+	st := ch.Strs[streamIdx]
+	if st.Spec.ExternalSource {
+		return
+	}
+	st.sourceGen++
+	startSourceTask(m.K, st)
 }
 
 // Run starts every gateway pair and advances the simulation.
@@ -271,22 +349,22 @@ func chainReport(k *sim.Kernel, ch *Chain) Report {
 		r.StreamingShare = float64(str) / busy
 		r.ReconfigShare = float64(rec) / busy
 	}
-	for i, st := range ch.Strs {
+	for i, snap := range ch.Pair.Snapshot() {
 		sr := StreamReport{
-			Name:          st.GW.Name,
-			Blocks:        st.GW.Blocks,
-			SamplesIn:     st.GW.SamplesIn,
-			SamplesOut:    st.GW.SamplesOut,
-			Overflows:     st.Overflows,
-			MaxTurnaround: st.GW.MaxTurnaround,
+			Name:          snap.Name,
+			Blocks:        snap.Blocks,
+			SamplesIn:     snap.SamplesIn,
+			SamplesOut:    snap.SamplesOut,
+			Overflows:     ch.Strs[i].Overflows,
+			MaxTurnaround: snap.MaxTurnaround,
 			PendingWait:   ch.Pair.PendingWait(i),
-			Stalls:        st.GW.StallCount,
-			Retries:       st.GW.RetryCount,
-			Quarantined:   st.GW.Quarantined,
-			QuarantinedAt: st.GW.QuarantinedAt,
+			Stalls:        snap.Stalls,
+			Retries:       snap.Retries,
+			Quarantined:   snap.Quarantined,
+			QuarantinedAt: snap.QuarantinedAt,
 		}
 		if total > 0 {
-			sr.OutputRate = float64(st.GW.SamplesOut) / float64(total)
+			sr.OutputRate = float64(snap.SamplesOut) / float64(total)
 		}
 		r.PerStream = append(r.PerStream, sr)
 	}

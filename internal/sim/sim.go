@@ -108,6 +108,24 @@ func (k *Kernel) RunAll() Time {
 	return k.now
 }
 
+// RunUntil processes events until cond returns true (checked after every
+// event), the queue drains, or the horizon passes. It returns true when
+// cond was met — the idiom for driving a simulation to an asynchronous
+// milestone (a mode transition completing, a verdict landing) without
+// guessing its wall-clock time.
+func (k *Kernel) RunUntil(until Time, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+		if cond() {
+			return true
+		}
+	}
+	return false
+}
+
 // Waker coalesces wake-up requests for a component's step function: any
 // number of Wake calls within one delta-cycle collapse into a single
 // invocation of fn at the current time. Components subscribe their Waker to

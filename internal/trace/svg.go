@@ -60,12 +60,19 @@ func (ga *Gantt) SVG(width int) string {
 	return b.String()
 }
 
-func escape(s string) string {
-	s = strings.ReplaceAll(s, "&", "&amp;")
-	s = strings.ReplaceAll(s, "<", "&lt;")
-	s = strings.ReplaceAll(s, ">", "&gt;")
-	return s
-}
+// xmlEscaper makes row labels and firing names safe in every XML context
+// the renderer uses them in — element content, <title> content and (should
+// a span template ever move them there) attribute values, hence the quote
+// entities too. A stream named `S<1>` or `A"B` must not break the document.
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+	"'", "&apos;",
+)
+
+func escape(s string) string { return xmlEscaper.Replace(s) }
 
 // CSV renders the Gantt as "actor,phase,start,end" rows for external
 // tooling (spreadsheets, waveform viewers).

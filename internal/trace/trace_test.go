@@ -1,11 +1,26 @@
 package trace
 
 import (
+	"encoding/xml"
+	"io"
 	"strings"
 	"testing"
 
 	"accelshare/internal/dataflow"
 )
+
+// checkWellFormedXML tokenises the whole document with the strict decoder.
+func checkWellFormedXML(doc string) error {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
 
 func sampleTrace(t *testing.T) (*dataflow.Graph, []dataflow.Firing) {
 	t.Helper()
@@ -124,6 +139,33 @@ func TestSVGEscapesNames(t *testing.T) {
 	}
 	if !strings.Contains(svg, "a&lt;b&gt;&amp;c") {
 		t.Error("escaped name missing")
+	}
+}
+
+// TestSVGEscapesStreamStyleNames is the regression for gateway-style row
+// labels: a stream named `S<1>` (angle brackets from an index template) or
+// one carrying quotes must still yield a well-formed XML document.
+func TestSVGEscapesStreamStyleNames(t *testing.T) {
+	ga := &Gantt{
+		Start: 0, End: 10,
+		Rows: []Row{
+			{Name: `S<1>`, Spans: []Span{{Start: 0, End: 4, Phase: 0}}},
+			{Name: `q"u'ote`, Spans: []Span{{Start: 4, End: 8, Phase: 1}}},
+		},
+	}
+	svg := ga.SVG(400)
+	for _, raw := range []string{`S<1>`, `q"u`, `u'ote`} {
+		if strings.Contains(svg, raw) {
+			t.Errorf("raw %q leaked into SVG", raw)
+		}
+	}
+	for _, want := range []string{"S&lt;1&gt;", "q&quot;u&apos;ote"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing escaped form %q", want)
+		}
+	}
+	if err := checkWellFormedXML(svg); err != nil {
+		t.Errorf("SVG not well-formed: %v", err)
 	}
 }
 
