@@ -71,6 +71,11 @@ const (
 	ReasonNotQuarantined Reason = "not-quarantined"
 	// ReasonBusy: another mode transition is still in flight.
 	ReasonBusy Reason = "busy"
+	// ReasonSuperseded: the stream set changed while the transition was
+	// draining (a fault quarantine landed mid-drain), so the decision's
+	// solved blocks and slot map are stale. The transition aborts before
+	// touching the platform; re-issue the request against the new model.
+	ReasonSuperseded Reason = "superseded"
 	// ReasonBadRequest: malformed request parameters.
 	ReasonBadRequest Reason = "bad-request"
 )
@@ -117,6 +122,10 @@ const (
 	EvCanaryPass EventKind = "canary-pass"
 	EvCanaryFail EventKind = "canary-fail"
 	EvRollback   EventKind = "rollback"
+	// EvRollbackFail records a canary rollback the controller could not
+	// apply. The survivors keep the readmission assignment, which was
+	// proved feasible for the larger set and so still holds for them.
+	EvRollbackFail EventKind = "rollback-failed"
 )
 
 // Event is one event-log entry. Request kinds carry the Verdict; platform
@@ -180,6 +189,13 @@ type Controller struct {
 
 	// pendingCanary is the in-flight readmission probe, if any.
 	pendingCanary *canaryProbe
+
+	// gen counts model mutations (transition commits, quarantines, canary
+	// shrinkage). A transition snapshots gen at decision time; the platform
+	// can quarantine a stream while the pause is still draining, so the
+	// pause callback compares gen against its snapshot and aborts its
+	// stale plan instead of applying it over the mutated model.
+	gen uint64
 
 	busy   bool
 	events []Event
@@ -374,6 +390,12 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 		c.reject(EvAdd, name, ReasonBusy, "another transition is in flight", done)
 		return
 	}
+	if c.pendingCanary != nil {
+		// A canary outcome may roll the model back to the assignment it
+		// captured at readmission time; admitting now would invalidate it.
+		c.reject(EvAdd, name, ReasonBusy, "a canary probe is in flight", done)
+		return
+	}
 	if req.Rate == nil || req.Rate.Sign() <= 0 {
 		c.reject(EvAdd, name, ReasonBadRequest, "missing or non-positive rate", done)
 		return
@@ -441,9 +463,18 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 	spec.StartSuspended = true
 
 	c.busy = true
+	gen := c.gen
 	requested := c.now()
 	pair := c.chain().Pair
 	err = pair.RequestPause(func() {
+		if c.gen != gen {
+			// A quarantine landed during the drain: cand, the solved
+			// blocks and the slot map are stale. Abort untouched.
+			pair.Resume()
+			c.busy = false
+			c.reject(EvAdd, name, ReasonSuperseded, "stream set changed during drain", done)
+			return
+		}
 		v.PauseWait = c.now() - requested
 		st, err := c.ms.AttachStream(c.ci, spec)
 		if err != nil {
@@ -463,6 +494,7 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 			c.model = cand
 			c.decim = granularity
 			c.gwSlot = append(c.gwSlot, newSlot)
+			c.gen++
 			c.busy = false
 			c.record(EvAdd, name, &v)
 			if done != nil {
@@ -470,9 +502,21 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 			}
 		})
 		if err != nil {
+			// AttachStream already consumed the reserved ring slot and
+			// started the source; don't leak a producing orphan behind the
+			// rejection. The slot stays suspended (StartSuspended is
+			// forced), the source stops, and the stream is parked so the
+			// name and the consumed slot remain recoverable via Readmit.
+			c.chain().Strs[newSlot].StopSource()
+			c.parked[name] = &parkedStream{
+				slot:       newSlot,
+				rate:       new(big.Rat).Set(req.Rate),
+				reconfig:   uint64(req.Spec.Reconfig),
+				decimation: decimation,
+			}
 			pair.Resume()
 			c.busy = false
-			c.reject(EvAdd, name, ReasonBadRequest, err.Error(), done)
+			c.reject(EvAdd, name, ReasonBadRequest, err.Error()+"; stream parked, recover via readmit", done)
 		}
 	})
 	if err != nil {
@@ -514,6 +558,12 @@ func (c *Controller) slotUpdates(model *core.System, blocks []int64) []gateway.S
 func (c *Controller) RemoveStream(name string, done func(Verdict)) {
 	if c.busy {
 		c.reject(EvRemove, name, ReasonBusy, "another transition is in flight", done)
+		return
+	}
+	if c.pendingCanary != nil {
+		// A canary outcome may roll the model back to the assignment it
+		// captured at readmission time; removing now would invalidate it.
+		c.reject(EvRemove, name, ReasonBusy, "a canary probe is in flight", done)
 		return
 	}
 	idx := c.modelIndex(name)
@@ -558,9 +608,18 @@ func (c *Controller) RemoveStream(name string, done func(Verdict)) {
 	}
 
 	c.busy = true
+	gen := c.gen
 	requested := c.now()
 	pair := c.chain().Pair
 	err = pair.RequestPause(func() {
+		if c.gen != gen {
+			// A quarantine landed during the drain: cand, the solved
+			// blocks and the captured slot map are stale. Abort untouched.
+			pair.Resume()
+			c.busy = false
+			c.reject(EvRemove, name, ReasonSuperseded, "stream set changed during drain", done)
+			return
+		}
 		v.PauseWait = c.now() - requested
 		prevSlots := c.gwSlot
 		c.gwSlot = gwSlots // slotUpdates addresses the survivor set
@@ -574,6 +633,7 @@ func (c *Controller) RemoveStream(name string, done func(Verdict)) {
 			c.chain().Strs[slot].StopSource()
 			c.model = cand
 			c.parked[name] = parked
+			c.gen++
 			c.busy = false
 			c.record(EvRemove, name, &v)
 			if done != nil {
@@ -618,6 +678,7 @@ func (c *Controller) onQuarantine(slot int) {
 		c.model.Streams = append(c.model.Streams[:i], c.model.Streams[i+1:]...)
 		c.decim = append(c.decim[:i], c.decim[i+1:]...)
 		c.gwSlot = append(c.gwSlot[:i], c.gwSlot[i+1:]...)
+		c.gen++ // invalidate any transition plan still draining
 		c.record(EvQuarantine, name, nil)
 		return
 	}
@@ -693,9 +754,18 @@ func (c *Controller) Readmit(name string, done func(Verdict)) {
 	quarantined := p.quarantined
 
 	c.busy = true
+	gen := c.gen
 	requested := c.now()
 	pair := ch.Pair
 	err = pair.RequestPause(func() {
+		if c.gen != gen {
+			// A quarantine landed during the drain: cand, the solved
+			// blocks and the slot map are stale. Abort untouched.
+			pair.Resume()
+			c.busy = false
+			c.reject(EvReadmit, name, ReasonSuperseded, "stream set changed during drain", done)
+			return
+		}
 		v.PauseWait = c.now() - requested
 		updates := c.slotUpdates(cand, res.Blocks[:len(res.Blocks)-1])
 		if quarantined {
@@ -713,6 +783,7 @@ func (c *Controller) Readmit(name string, done func(Verdict)) {
 			c.model = cand
 			c.decim = granularity
 			c.gwSlot = append(c.gwSlot, p.slot)
+			c.gen++
 			delete(c.parked, name)
 			c.pendingCanary = &canaryProbe{name: name, slot: p.slot, prev: prev}
 			c.busy = false
@@ -771,25 +842,56 @@ func (c *Controller) onCanary(slot int, ok bool) {
 	c.model.Streams = append(c.model.Streams[:idx], c.model.Streams[idx+1:]...)
 	c.decim = append(c.decim[:idx], c.decim[idx+1:]...)
 	c.gwSlot = append(c.gwSlot[:idx], c.gwSlot[idx+1:]...)
+	c.gen++
 	// Roll the survivors back to the assignment that held before the
 	// failed readmission (it was feasible then; with the probed stream
-	// gone again it is feasible now).
-	prev := p.prev
+	// gone again it is feasible now). If the rollback cannot be applied,
+	// the survivors keep the readmission ηs — feasible for the larger set,
+	// hence still safe, just not minimal — and the dropped rollback is
+	// recorded as a rollback-failed event rather than lost silently.
+	rollbackFailed := func(reason Reason, detail string) {
+		c.record(EvRollbackFail, p.name, &Verdict{Accepted: false, Reason: reason, Detail: detail})
+	}
+	if c.busy {
+		// Unreachable while requests are gated on pendingCanary, but never
+		// clobber another transition's busy gate.
+		rollbackFailed(ReasonBusy, "another transition is in flight")
+		return
+	}
+	// Map prev onto the current model by name: a survivor can itself have
+	// been quarantined while the canary was pending, so prev's length and
+	// order need not match the model any more. Streams without a prev
+	// entry keep their current (feasible-for-a-larger-set) block.
+	blocks := make([]int64, len(c.model.Streams))
+	for i := range c.model.Streams {
+		blocks[i] = c.model.Streams[i].Block
+		for _, a := range p.prev {
+			if a.Name == c.model.Streams[i].Name {
+				blocks[i] = a.Block
+				break
+			}
+		}
+	}
 	v := Verdict{
 		Accepted:    true,
 		Reason:      ReasonAdmitted,
-		Blocks:      prev,
-		BoundCycles: c.transitionBound(len(prev)),
+		Blocks:      assignment(c.model, blocks),
+		BoundCycles: c.transitionBound(len(blocks)),
 	}
 	c.busy = true
+	gen := c.gen
 	requested := c.now()
 	pair := c.chain().Pair
 	err := pair.RequestPause(func() {
-		v.PauseWait = c.now() - requested
-		blocks := make([]int64, len(prev))
-		for i := range prev {
-			blocks[i] = prev[i].Block
+		if c.gen != gen {
+			// Another quarantine landed during the rollback drain: blocks
+			// no longer line up with the model. Abort untouched.
+			pair.Resume()
+			c.busy = false
+			rollbackFailed(ReasonSuperseded, "stream set changed during drain")
+			return
 		}
+		v.PauseWait = c.now() - requested
 		updates := c.slotUpdates(c.model, blocks)
 		v.BusCycles = uint64(c.cfg.PerSlotCost) * uint64(len(updates))
 		err := pair.ApplySlots(updates, c.cfg.PerSlotCost, func() {
@@ -797,15 +899,18 @@ func (c *Controller) onCanary(slot int, ok bool) {
 			for i := range c.model.Streams {
 				c.model.Streams[i].Block = blocks[i]
 			}
+			c.gen++
 			c.busy = false
 			c.record(EvRollback, p.name, &v)
 		})
 		if err != nil {
 			pair.Resume()
 			c.busy = false
+			rollbackFailed(ReasonBadRequest, err.Error())
 		}
 	})
 	if err != nil {
 		c.busy = false
+		rollbackFailed(ReasonBusy, err.Error())
 	}
 }
