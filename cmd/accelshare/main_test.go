@@ -6,6 +6,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -133,6 +135,51 @@ func TestAdmitDeterministic(t *testing.T) {
 		t.Fatal("admission campaign output differs between two identical runs")
 	}
 	for _, want := range []string{"add s5: admitted", "remove s4: admitted", "readmit s4: admitted", "canary-pass s4", "rejected (infeasible)"} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Errorf("campaign output missing %q", want)
+		}
+	}
+}
+
+func TestFailoverCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the failover campaign runs four scenarios")
+	}
+	runCmd(t, "failover", "-horizon", "60000")
+}
+
+// TestFailoverGolden is an acceptance criterion: the failover campaign —
+// wedged-chain verdicts, stream migration, cost-vs-bound accounting,
+// conformance checks, trace rendering — must be byte-identical across runs
+// AND byte-identical to the checked-in golden file. Regenerate with
+//
+//	go run ./cmd/accelshare failover > cmd/accelshare/testdata/failover.golden
+//
+// only after verifying the behavioral change that moved it.
+func TestFailoverGolden(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := failoverCampaign(&a, 60_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := failoverCampaign(&b, 60_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("failover campaign output differs between two identical runs")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "failover.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), golden) {
+		t.Fatalf("failover campaign output diverged from testdata/failover.golden:\n--- got ---\n%s", a.String())
+	}
+	for _, want := range []string{
+		"within-bound=true",
+		"re-solved for the standby chain",
+		"not triggered (per-stream recovery handled the fault)",
+		"zero lost or duplicated",
+	} {
 		if !bytes.Contains(a.Bytes(), []byte(want)) {
 			t.Errorf("campaign output missing %q", want)
 		}

@@ -126,6 +126,9 @@ const (
 	// apply. The survivors keep the readmission assignment, which was
 	// proved feasible for the larger set and so still holds for them.
 	EvRollbackFail EventKind = "rollback-failed"
+	// EvRetarget records the controller re-attaching to the standby chain
+	// after a failover migrated its streams there.
+	EvRetarget EventKind = "retarget"
 )
 
 // Event is one event-log entry. Request kinds carry the Verdict; platform
@@ -913,4 +916,67 @@ func (c *Controller) onCanary(slot int, ok bool) {
 		c.busy = false
 		rollbackFailed(ReasonBusy, err.Error())
 	}
+}
+
+// Retarget re-attaches the controller to another chain after a failover
+// migrated its streams there. Slots are re-mapped BY NAME against the new
+// pair's table (failover preserves order, but the controller should not
+// depend on that), the model's block sizes refresh from the live table (the
+// failover may have re-solved them), and standbyChain — when the standby's
+// engine set differs — replaces the model's chain parameters. A transition
+// that was pending on the dead pair is aborted: its pause callback died
+// with the pair, so the busy gate is released and the generation bump turns
+// any still-scheduled completion into a no-op.
+func (c *Controller) Retarget(chain int, standbyChain *core.Chain) error {
+	if chain < 0 || chain >= len(c.ms.Chains) {
+		return fmt.Errorf("admission: retarget chain %d out of range", chain)
+	}
+	if chain == c.ci {
+		return fmt.Errorf("admission: already attached to chain %d", chain)
+	}
+	ch := c.ms.Chains[chain]
+	if ch.Pair.Failed() {
+		return fmt.Errorf("admission: retarget target chain %q has itself failed", ch.Spec.Name)
+	}
+	if c.busy && !c.chain().Pair.Failed() {
+		return fmt.Errorf("admission: transition in flight on a live pair")
+	}
+	snaps := ch.Pair.Snapshot()
+	slotByName := make(map[string]int, len(snaps))
+	for i, sn := range snaps {
+		slotByName[sn.Name] = i
+	}
+	// Validate every mapping before mutating anything.
+	newSlots := make([]int, len(c.model.Streams))
+	for i := range c.model.Streams {
+		slot, ok := slotByName[c.model.Streams[i].Name]
+		if !ok {
+			return fmt.Errorf("admission: stream %q missing on chain %q", c.model.Streams[i].Name, ch.Spec.Name)
+		}
+		newSlots[i] = slot
+	}
+	for name := range c.parked {
+		if _, ok := slotByName[name]; !ok {
+			return fmt.Errorf("admission: parked stream %q missing on chain %q", name, ch.Spec.Name)
+		}
+	}
+	for i := range c.model.Streams {
+		c.model.Streams[i].Block = snaps[newSlots[i]].Block
+	}
+	for name, p := range c.parked {
+		p.slot = slotByName[name]
+	}
+	if standbyChain != nil {
+		c.model.Chain = *standbyChain
+		c.model.Chain.AccelCosts = append([]uint64(nil), standbyChain.AccelCosts...)
+	}
+	c.gwSlot = newSlots
+	c.ci = chain
+	c.pendingCanary = nil // a probe cannot survive its pair
+	c.busy = false
+	c.gen++
+	ch.Pair.SetQuarantineObserver(c.onQuarantine)
+	ch.Pair.SetCanaryHook(c.onCanary)
+	c.record(EvRetarget, ch.Spec.Name, nil)
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"accelshare/internal/accel"
+	"accelshare/internal/conformance"
 	"accelshare/internal/core"
 	"accelshare/internal/fault"
 	"accelshare/internal/gateway"
@@ -138,45 +139,27 @@ func (b *bed) hasEvent(kind EventKind, stream string) bool {
 }
 
 // checkBounds asserts every block of every live stream that became
-// ELIGIBLE after `since` met the current model's τ̂ and γ̂. Blocks queued
-// before `since` may span a mode transition; those are covered by the
-// transition-cost bound (Verdict.BoundCycles), not by the new γ̂.
+// ELIGIBLE after `since` met the current model's τ̂ and γ̂, via the shared
+// conformance harness. Blocks queued before `since` may span a mode
+// transition; those are covered by the transition-cost bound
+// (Verdict.BoundCycles), not by the new γ̂ — hence FilterQueued.
 func (b *bed) checkBounds(t *testing.T, since sim.Time) {
 	t.Helper()
-	model := b.ctrl.Model()
-	ch := b.ms.Chains[0]
-	for i := range model.Streams {
-		tau, err := model.TauHat(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gamma, err := model.GammaHat(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		name := model.Streams[i].Name
-		checked := 0
-		for _, st := range ch.Strs {
-			if st.Spec.Name != name {
-				continue
-			}
-			for _, rec := range st.GW.Turnarounds {
-				if rec.Queued < since {
-					continue
-				}
-				checked++
-				if got := uint64(rec.Done - rec.Started); got > tau {
-					t.Errorf("stream %s: service %d > τ̂ %d", name, got, tau)
-				}
-				if got := uint64(rec.Done - rec.Queued); got > gamma {
-					t.Errorf("stream %s: turnaround %d > γ̂ %d (queued=%d started=%d done=%d retries=%d)",
-						name, got, gamma, rec.Queued, rec.Started, rec.Done, rec.Retries)
-				}
-			}
-		}
-		if checked == 0 {
-			t.Errorf("stream %s: no blocks completed since t=%d", name, since)
-		}
+	bounds, err := conformance.FromModel(b.ctrl.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams []*gateway.Stream
+	for _, st := range b.ctrl.chain().Strs {
+		streams = append(streams, st.GW)
+	}
+	res := conformance.FromStreams(bounds, streams, conformance.Options{
+		// After is exclusive; the original contract includes blocks queued
+		// exactly at `since`.
+		After: since - 1, FilterQueued: true, MinBlocks: 1,
+	})
+	if err := res.Err(); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -59,6 +59,14 @@ type FIFO struct {
 	ackRetryPending bool
 	dataSubs        []*sim.Waker
 
+	// Repoint state (chain failover): repointing gates the producer while
+	// an endpoint moves; dataNodes/ackNodes remember which ring nodes
+	// already carry this FIFO's bindings, so failing back to a previously
+	// used node does not bind the port twice.
+	repointing bool
+	dataNodes  map[int]bool
+	ackNodes   map[int]bool
+
 	// Stats.
 	AckMessages uint64
 }
@@ -75,21 +83,44 @@ func New(k *sim.Kernel, net *ring.Dual, cfg Config) (*FIFO, error) {
 		return nil, fmt.Errorf("cfifo %q: ack batch %d exceeds capacity %d (space would never return)",
 			cfg.Name, cfg.AckBatch, cfg.Capacity)
 	}
-	f := &FIFO{cfg: cfg, k: k, net: net}
+	f := &FIFO{
+		cfg: cfg, k: k, net: net,
+		dataNodes: map[int]bool{}, ackNodes: map[int]bool{},
+	}
 	f.buf = sim.NewQueue(cfg.Name+".buf", cfg.Capacity)
-	// Data arriving at the consumer tile: guaranteed acceptance — the
-	// producer never sends beyond the space it observed, so the local
-	// buffer cannot overflow.
-	net.Data.Node(cfg.ConsumerNode).Bind(cfg.DataPort, func(m ring.Message) {
+	f.bindData(cfg.ConsumerNode)
+	f.bindAck(cfg.ProducerNode)
+	return f, nil
+}
+
+// bindData installs the consumer-side delivery handler on a ring node.
+// Data arriving at the consumer tile is guaranteed acceptance — the
+// producer never sends beyond the space it observed, so the local buffer
+// cannot overflow.
+func (f *FIFO) bindData(node int) {
+	if f.dataNodes[node] {
+		return
+	}
+	f.dataNodes[node] = true
+	f.net.Data.Node(node).Bind(f.cfg.DataPort, func(m ring.Message) {
 		if !f.buf.TryPush(m.W) {
-			panic(fmt.Sprintf("cfifo %q: buffer overflow — flow-control algorithm violated", cfg.Name))
+			panic(fmt.Sprintf("cfifo %q: buffer overflow — flow-control algorithm violated", f.cfg.Name))
 		}
 		for _, w := range f.dataSubs {
 			w.Wake()
 		}
 	})
-	// Read-counter updates arriving at the producer tile.
-	net.Data.Node(cfg.ProducerNode).Bind(cfg.AckPort, func(m ring.Message) {
+}
+
+// bindAck installs the producer-side read-counter handler on a ring node.
+// The counter is absolute and the update monotonic-guarded, so an ack
+// arriving at a superseded node (after a repoint) is still applied safely.
+func (f *FIFO) bindAck(node int) {
+	if f.ackNodes[node] {
+		return
+	}
+	f.ackNodes[node] = true
+	f.net.Data.Node(node).Bind(f.cfg.AckPort, func(m ring.Message) {
 		if uint64(m.W) > f.readCopy {
 			f.readCopy = uint64(m.W)
 			for _, w := range f.spaceSubs {
@@ -97,7 +128,6 @@ func New(k *sim.Kernel, net *ring.Dual, cfg Config) (*FIFO, error) {
 			}
 		}
 	})
-	return f, nil
 }
 
 // Space returns the producer's view of the free space. It is conservative:
@@ -110,8 +140,12 @@ func (f *FIFO) Space() int {
 func (f *FIFO) Len() int { return f.buf.Len() }
 
 // TryWrite posts one word from the producer. It reports false when the
-// producer's space view is empty or the ring injection buffer is busy.
+// producer's space view is empty, the ring injection buffer is busy, or a
+// repoint is in progress (BeginRepoint).
 func (f *FIFO) TryWrite(w sim.Word) bool {
+	if f.repointing {
+		return false
+	}
 	if f.Space() <= 0 {
 		return false
 	}
@@ -170,6 +204,56 @@ func (f *FIFO) SubscribeSpace(w *sim.Waker) { f.spaceSubs = append(f.spaceSubs, 
 
 // SubscribeData wakes w when a word arrives at the consumer.
 func (f *FIFO) SubscribeData(w *sim.Waker) { f.dataSubs = append(f.dataSubs, w) }
+
+// ---------------------------------------------------------------------------
+// Endpoint re-pointing (chain failover).
+//
+// When a gateway pair fails, its streams migrate to the standby pair on the
+// same ring: the input FIFO's consumer endpoint and the output FIFO's
+// producer endpoint move to the standby's ring nodes. The FIFO object — its
+// buffered words and counters — survives unchanged; only the ring routing
+// changes. The old node's bindings stay installed (the interconnect offers
+// no unbind) and keep delivering into the same buffer, so words that were
+// in flight toward the old node when the endpoint moved are never lost.
+//
+// Ordering is the caller's responsibility: between BeginRepoint (which
+// gates the producer) and RepointConsumer, every data word in flight on
+// the old route must have landed — any settle delay exceeding the
+// worst-case ring transit suffices. Without the gate, a word sent to the
+// new (closer) node could overtake one still travelling to the old node.
+// The ack path needs no gate: read counters are absolute and applied under
+// a monotonic guard, so stale-route acks are harmless.
+// ---------------------------------------------------------------------------
+
+// BeginRepoint gates the producer: TryWrite reports false until a
+// RepointConsumer call completes the move. A periodic source simply retries
+// the sample on its next tick (delayed, not dropped — its overflow counter
+// only fires on a genuinely full FIFO).
+func (f *FIFO) BeginRepoint() { f.repointing = true }
+
+// RepointConsumer moves the consumer endpoint to a new ring node: future
+// producer data targets it, and read-counter updates originate from it.
+// Clears the BeginRepoint gate and wakes producer-side subscribers.
+func (f *FIFO) RepointConsumer(node int) {
+	f.bindData(node)
+	f.cfg.ConsumerNode = node
+	f.repointing = false
+	for _, w := range f.spaceSubs {
+		w.Wake()
+	}
+}
+
+// RepointProducer moves the producer endpoint to a new ring node: future
+// TryWrite injections originate from it, and the consumer's read-counter
+// updates target it.
+func (f *FIFO) RepointProducer(node int) {
+	f.bindAck(node)
+	f.cfg.ProducerNode = node
+	f.repointing = false
+	for _, w := range f.dataSubs {
+		w.Wake()
+	}
+}
 
 // Name returns the channel name.
 func (f *FIFO) Name() string { return f.cfg.Name }

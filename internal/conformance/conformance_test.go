@@ -1,0 +1,182 @@
+package conformance
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"accelshare/internal/core"
+	"accelshare/internal/gateway"
+	"accelshare/internal/sim"
+)
+
+func oneBound() []StreamBounds {
+	return []StreamBounds{{
+		Name: "s", TauHat: 100, GammaHat: 300, Rate: big.NewRat(1, 10), Block: 16,
+	}}
+}
+
+func rec(queued, started, done int64, retries int) gateway.BlockRecord {
+	return gateway.BlockRecord{
+		Queued: sim.Time(queued), Started: sim.Time(started),
+		Done: sim.Time(done), Retries: retries,
+	}
+}
+
+func kinds(r Result) []string {
+	var out []string
+	for _, v := range r.Violations {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+func TestCheckDetectsEachViolationKind(t *testing.T) {
+	records := [][]gateway.BlockRecord{{
+		rec(0, 10, 100, 0),    // clean: lat 90 ≤ 100, turn 100 ≤ 300
+		rec(100, 150, 300, 0), // tau: lat 150 > 100
+		rec(300, 560, 650, 0), // gamma: turn 350 > 300 (lat 90 fine)
+	}}
+	res := Check(oneBound(), records, Options{})
+	got := kinds(res)
+	if len(got) != 2 || got[0] != "tau" || got[1] != "gamma" {
+		t.Fatalf("violations = %v, want [tau gamma]", got)
+	}
+	if res.Checked != 3 {
+		t.Fatalf("checked = %d, want 3", res.Checked)
+	}
+	if err := res.Err(); err == nil || !strings.Contains(err.Error(), "2 bound violations") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestSkipRetriedExemptsTauOnly(t *testing.T) {
+	records := [][]gateway.BlockRecord{{
+		rec(0, 10, 100, 0),
+		rec(100, 150, 300, 2), // lat 150 > 100 but retried
+		rec(300, 560, 650, 1), // turn 350 > 300: γ̂ still enforced on retries
+	}}
+	res := Check(oneBound(), records, Options{SkipRetried: true})
+	got := kinds(res)
+	if len(got) != 1 || got[0] != "gamma" {
+		t.Fatalf("violations = %v, want [gamma] (tau exempt for retried blocks)", got)
+	}
+}
+
+func TestAfterCutsTransients(t *testing.T) {
+	records := [][]gateway.BlockRecord{{
+		rec(0, 10, 500, 0),    // transient: violates both, done before the cut
+		rec(500, 510, 600, 0), // clean
+	}}
+	res := Check(oneBound(), records, Options{After: 500})
+	if len(res.Violations) != 0 || res.Checked != 1 {
+		t.Fatalf("violations = %v checked = %d, want none/1", res.Violations, res.Checked)
+	}
+	// FilterQueued scopes on Queued instead: the transient was queued at 0,
+	// the clean block at 500 (exclusive cut → also dropped).
+	res = Check(oneBound(), records, Options{After: 500, FilterQueued: true, MinBlocks: 1})
+	got := kinds(res)
+	if len(got) != 1 || got[0] != "coverage" {
+		t.Fatalf("violations = %v, want [coverage]", got)
+	}
+	res = Check(oneBound(), records, Options{After: 499, FilterQueued: true, MinBlocks: 1})
+	if len(res.Violations) != 0 || res.Checked != 1 {
+		t.Fatalf("violations = %v checked = %d, want none/1", res.Violations, res.Checked)
+	}
+}
+
+func TestMinBlocksCoverage(t *testing.T) {
+	res := Check(oneBound(), [][]gateway.BlockRecord{{rec(0, 10, 100, 0)}}, Options{MinBlocks: 5})
+	got := kinds(res)
+	if len(got) != 1 || got[0] != "coverage" {
+		t.Fatalf("violations = %v, want [coverage]", got)
+	}
+	// An empty trace trivially "conforms" without the guard.
+	res = Check(oneBound(), nil, Options{})
+	if len(res.Violations) != 0 {
+		t.Fatalf("empty trace with MinBlocks 0: %v", res.Violations)
+	}
+	res = Check(oneBound(), nil, Options{MinBlocks: 1})
+	if len(res.Violations) != 1 || res.Violations[0].Kind != "coverage" {
+		t.Fatalf("violations = %v, want [coverage]", res.Violations)
+	}
+}
+
+func TestThroughputFloor(t *testing.T) {
+	// μ = 1/10 with η = 16: a block every ≤ 160 cycles sustains the rate.
+	fast := [][]gateway.BlockRecord{{
+		rec(0, 0, 0, 0), rec(0, 160, 160, 0), rec(0, 320, 320, 0), rec(0, 480, 480, 0),
+	}}
+	res := Check(oneBound(), fast, Options{SkipGamma: true, SkipRetried: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("sustained rate flagged: %v", res.Violations)
+	}
+	// One block per 1000 cycles delivers 16/1000 < 1/10.
+	slow := [][]gateway.BlockRecord{{
+		rec(0, 0, 0, 0), rec(0, 1000, 1000, 0), rec(0, 2000, 2000, 0),
+	}}
+	res = Check(oneBound(), slow, Options{SkipGamma: true, SkipRetried: true})
+	got := kinds(res)
+	if len(got) != 1 || got[0] != "throughput" {
+		t.Fatalf("violations = %v, want [throughput]", got)
+	}
+	// The boundary slack: completions γ̂-jittered around the nominal period
+	// must NOT be flagged (a finite window can't resolve finer than γ̂).
+	jitter := [][]gateway.BlockRecord{{
+		rec(0, 0, 0, 0), rec(0, 160, 160, 0), rec(0, 320+299, 320+299, 0),
+	}}
+	res = Check(oneBound(), jitter, Options{SkipGamma: true, SkipRetried: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("γ̂-jittered completions flagged: %v", res.Violations)
+	}
+}
+
+// TestFromModel pins the derived bounds for the shared fault-test platform:
+// ε=15, ρA=1, δ=1, Rs=50, η=16 over three streams → τ̂=320, γ̂=960 (Eq. 2/4).
+func TestFromModel(t *testing.T) {
+	sys := &core.System{
+		Chain: core.Chain{
+			Name: "m", AccelCosts: []uint64{1},
+			EntryCost: 15, ExitCost: 1, NICapacity: 2,
+		},
+		ClockHz: 1,
+	}
+	for _, n := range []string{"s0", "s1", "s2"} {
+		sys.Streams = append(sys.Streams, core.Stream{
+			Name: n, Rate: big.NewRat(1, 75), Reconfig: 50, Block: 16,
+		})
+	}
+	bounds, err := FromModel(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sb := range bounds {
+		if sb.TauHat != 320 || sb.GammaHat != 960 || sb.Block != 16 {
+			t.Fatalf("%s: τ̂=%d γ̂=%d η=%d, want 320/960/16", sb.Name, sb.TauHat, sb.GammaHat, sb.Block)
+		}
+		if sb.Rate.Cmp(big.NewRat(1, 75)) != 0 {
+			t.Fatalf("%s: μ=%s, want 1/75", sb.Name, sb.Rate.RatString())
+		}
+	}
+	// Unsolved block sizes must error, not divide by zero.
+	sys.Streams[0].Block = 0
+	if _, err := FromModel(sys); err == nil {
+		t.Fatal("unsolved model accepted")
+	}
+}
+
+// TestFromStreamsAlignsByName: slot order may change across admission or
+// failover transitions; bounds without a matching stream read as an empty
+// trace so MinBlocks catches the gap.
+func TestFromStreamsAlignsByName(t *testing.T) {
+	bounds := []StreamBounds{
+		{Name: "a", TauHat: 100, GammaHat: 300, Block: 16},
+		{Name: "b", TauHat: 100, GammaHat: 300, Block: 16},
+	}
+	sa := &gateway.Stream{Name: "a"}
+	sa.Turnarounds = []gateway.BlockRecord{rec(0, 10, 100, 0)}
+	res := FromStreams(bounds, []*gateway.Stream{sa}, Options{MinBlocks: 1})
+	if len(res.Violations) != 1 || res.Violations[0].Stream != "b" || res.Violations[0].Kind != "coverage" {
+		t.Fatalf("violations = %v, want coverage for the missing stream b", res.Violations)
+	}
+}

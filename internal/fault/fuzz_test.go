@@ -1,0 +1,68 @@
+package fault
+
+// Fuzz harness for the fault-campaign script parser: arbitrary input must
+// produce an error or a well-formed plan — never a panic. Run continuously
+// with `go test -fuzz=FuzzParseScript ./internal/fault/`; CI runs a short
+// smoke budget on every push.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseScript(f *testing.F) {
+	// Seed corpus: every fault kind, comments, hex masks, durations —
+	// and the malformed shapes the parser must reject gracefully.
+	for _, seed := range []string{
+		"",
+		"# comment only\n",
+		"5000 wedge-link site=0\n",
+		"5000 wedge-link site=0 dur=1500\n",
+		"200 wedge-node site=1\n",
+		"0 stick-engine stream=0 site=0 sample=24\n",
+		"10 drop-sample stream=1 site=0 sample=7 count=2\n",
+		"10 corrupt-sample stream=2 site=0 sample=3 mask=0xff\n",
+		"300 lose-idle stream=0 block=8 count=3\n",
+		"1 wedge-link site=0\n2 wedge-node site=0\n3 lose-idle stream=1\n",
+		"# full campaign\n100 stick-engine stream=0 site=0 sample=4\n900 wedge-link site=0 dur=200\n",
+		// Malformed: each must error, not panic.
+		"notanumber wedge-link site=0\n",
+		"5 unknown-kind site=0\n",
+		"5 wedge-link\n",
+		"5 stick-engine site=0\n",
+		"5 drop-sample stream=0\n",
+		"5 wedge-link site=-1\n",
+		"9 wedge-link site=0\n3 wedge-link site=0\n", // decreasing times
+		"5 corrupt-sample stream=0 site=0 mask=zzz\n",
+		"5 lose-idle stream=0 bogus=1\n",
+		"5 wedge-link site=0 dur=\n",
+		"\x00\x01\x02",
+		strings.Repeat("5 wedge-link site=0\n", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		plan, err := ParseScript(text)
+		if err != nil {
+			if plan != nil {
+				t.Fatal("non-nil plan returned alongside an error")
+			}
+			return
+		}
+		// A parsed plan must be internally consistent: normalized fields
+		// and non-decreasing activation times.
+		last := int64(-1)
+		for _, ft := range plan.Faults {
+			if int64(ft.At) < last {
+				t.Fatalf("fault times decrease: %d after %d", ft.At, last)
+			}
+			last = int64(ft.At)
+			if ft.Stream < 0 || ft.Site < 0 {
+				t.Fatalf("unnormalized fault: %+v", ft)
+			}
+			if ft.Kind.String() == "" {
+				t.Fatalf("unknown kind survived parsing: %+v", ft)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"accelshare/internal/sim"
+)
+
+// ParseScript reads a fault campaign script: one fault per line,
+//
+//	<at> wedge-link site=<link> [dur=<cycles>]
+//	<at> wedge-node site=<node> [dur=<cycles>]
+//	<at> stick-engine stream=<i> site=<tile> [sample=<n>]
+//	<at> drop-sample stream=<i> site=<tile> [sample=<n>] [count=<n>]
+//	<at> corrupt-sample stream=<i> site=<tile> [sample=<n>] [count=<n>] [mask=<m>]
+//	<at> lose-idle stream=<i> [block=<n>] [count=<n>]
+//
+// with '#' comments and blank lines ignored. <at> is the wedge onset time in
+// simulation cycles (engine/idle faults trigger on their sample or block
+// index instead; their <at> column is kept for uniformity and must still
+// parse). dur=0 wedges permanently. Times must be non-decreasing so scripts
+// read like a timeline. Malformed input yields an error, never a panic.
+func ParseScript(text string) (*Plan, error) {
+	plan := &Plan{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	var last sim.Time
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault script line %d: want '<at> <kind> key=value...', got %q", lineNo, line)
+		}
+		at, err := strconv.ParseUint(fields[0], 10, 63)
+		if err != nil {
+			return nil, fmt.Errorf("fault script line %d: bad time %q", lineNo, fields[0])
+		}
+		f := Fault{At: sim.Time(at), Stream: -1, Site: -1}
+		switch fields[1] {
+		case "wedge-link":
+			f.Kind = WedgeLink
+		case "wedge-node":
+			f.Kind = WedgeNode
+		case "stick-engine":
+			f.Kind = StickEngine
+		case "drop-sample":
+			f.Kind = DropSample
+		case "corrupt-sample":
+			f.Kind = CorruptSample
+		case "lose-idle":
+			f.Kind = LoseIdle
+		default:
+			return nil, fmt.Errorf("fault script line %d: unknown fault kind %q", lineNo, fields[1])
+		}
+		for _, kv := range fields[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault script line %d: bad parameter %q", lineNo, kv)
+			}
+			switch key {
+			case "site":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault script line %d: bad site %q", lineNo, val)
+				}
+				f.Site = n
+			case "stream":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault script line %d: bad stream %q", lineNo, val)
+				}
+				f.Stream = n
+			case "sample":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault script line %d: bad sample %q", lineNo, val)
+				}
+				f.Sample = n
+			case "count":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fault script line %d: bad count %q", lineNo, val)
+				}
+				f.Count = n
+			case "block":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault script line %d: bad block %q", lineNo, val)
+				}
+				f.Block = n
+			case "dur":
+				n, err := strconv.ParseUint(val, 10, 63)
+				if err != nil {
+					return nil, fmt.Errorf("fault script line %d: bad dur %q", lineNo, val)
+				}
+				f.Duration = sim.Time(n)
+			case "mask":
+				n, err := strconv.ParseUint(val, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault script line %d: bad mask %q", lineNo, val)
+				}
+				f.Mask = sim.Word(n)
+			default:
+				return nil, fmt.Errorf("fault script line %d: unknown parameter %q", lineNo, key)
+			}
+		}
+		switch f.Kind {
+		case WedgeLink, WedgeNode:
+			if f.Site < 0 {
+				return nil, fmt.Errorf("fault script line %d: %s needs site=", lineNo, f.Kind)
+			}
+			f.Stream = 0 // unused for wedges; keep the zero-value convention
+		case StickEngine, DropSample, CorruptSample:
+			if f.Stream < 0 || f.Site < 0 {
+				return nil, fmt.Errorf("fault script line %d: %s needs stream= and site=", lineNo, f.Kind)
+			}
+		case LoseIdle:
+			if f.Stream < 0 {
+				return nil, fmt.Errorf("fault script line %d: lose-idle needs stream=", lineNo)
+			}
+			f.Site = 0
+		}
+		if f.Site < 0 {
+			f.Site = 0
+		}
+		if f.At < last {
+			return nil, fmt.Errorf("fault script line %d: times must be non-decreasing", lineNo)
+		}
+		last = f.At
+		plan.Faults = append(plan.Faults, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,184 @@
+package gateway
+
+// Chain failover: when a whole accelerator chain wedges (stuck tile, severed
+// ring segment), recovery-by-retry on the same pair is futile. The paper's
+// Fig. 1 platform carries a second entry-/exit-gateway pair on the same ring;
+// this file is the gateway half of migrating every stream to it. The
+// FailoverController (internal/mpsoc) drives the sequence:
+//
+//	FreezeForFailover  — retire the sick pair mid-flight, abort the active
+//	                     block attempt (epoch bump, as a flush would)
+//	   ... settle ...  — wait out the worst-case interconnect transit so
+//	                     every in-flight word and credit has landed
+//	ExportStreams      — clear the dead chain and deep-copy each stream's
+//	                     engine state + in-flight block residue out
+//	ImportStream       — re-register each stream on the (paused) standby
+//	                     pair, seeding the replay of the aborted block
+//
+// The freeze is terminal: a failed pair's entry and exit state machines are
+// permanent no-ops, and its tiles are never reprogrammed again.
+
+import (
+	"fmt"
+
+	"accelshare/internal/sim"
+)
+
+// StreamExport is one stream's migratable state, deep-copied so nothing
+// aliases the failed pair once the standby starts mutating. Engines is the
+// per-tile engine state the standby restores before the stream's next block
+// (nil when the stream never ran on the failed chain); Replay and Committed
+// carry the aborted in-flight block: the input words its attempt consumed
+// and the output words the consumer had already received.
+type StreamExport struct {
+	Stream    *Stream
+	Engines   [][]uint64
+	Replay    []sim.Word
+	Committed int64
+}
+
+// Failed reports whether the pair was retired by FreezeForFailover.
+func (p *Pair) Failed() bool { return p.failed }
+
+// SetStallObserver installs fn to observe watchdog stalls in addition to
+// Config.OnStall — the failover controller's tap, parallel to the admission
+// controller's quarantine observer. fn runs before the recovery decision, so
+// a verdict that triggers FreezeForFailover pre-empts the flush/retry path.
+func (p *Pair) SetStallObserver(fn func(stream int)) { p.stallObs = fn }
+
+// FreezeForFailover retires the pair: both state machines become no-ops and
+// the in-flight block attempt (if any) is aborted exactly as a flush would
+// abort it — epoch bump cancelling every scheduled completion — except that
+// the consumed-word snapshot is kept for replay on the standby instead of
+// being retried here. An in-flight block can only be migrated when recovery
+// is enabled, because only the recovery path records the replay snapshot.
+func (p *Pair) FreezeForFailover() error {
+	if p.failed {
+		return fmt.Errorf("gateway %s: already failed over", p.cfg.Name)
+	}
+	if p.state != stIdle && !p.cfg.Recovery.Enabled {
+		return fmt.Errorf("gateway %s: cannot freeze mid-block without recovery (no replay snapshot)", p.cfg.Name)
+	}
+	p.failed = true
+	if p.state != stIdle {
+		p.abortedStream = p.active
+	}
+	p.blockEpoch++ // cancel in-flight DMA/exit/watchdog/idle-retry events
+	p.dmaBusy = false
+	p.holding = false
+	p.exitBusy = false
+	p.exitHolding = false
+	p.pauseCb = nil // a pending admission pause dies with the pair
+	return nil
+}
+
+// ExportStreams clears the dead chain (tile aborts, NI queues, link credit
+// state — the same scrub a flush performs) and returns every stream's
+// migratable state. The caller must have waited out the interconnect settle
+// delay after FreezeForFailover so no word is still in flight toward this
+// pair's nodes. The pair's stream table is emptied: the streams now belong
+// to whoever imports them.
+func (p *Pair) ExportStreams() ([]StreamExport, error) {
+	if !p.failed {
+		return nil, fmt.Errorf("gateway %s: ExportStreams requires a frozen pair", p.cfg.Name)
+	}
+	for _, t := range p.tiles {
+		t.Abort()
+	}
+	p.exitNI.Clear()
+	p.link.Reset()
+	for _, t := range p.tiles {
+		if l := t.Downstream(); l != nil {
+			l.Reset()
+		}
+	}
+	exports := make([]StreamExport, len(p.streams))
+	for i, s := range p.streams {
+		ex := StreamExport{Stream: s}
+		switch {
+		case i == p.abortedStream && p.state != stReconfig:
+			// Mid-block abort (streaming/draining/flushing): the standby must
+			// replay from the block-start engine snapshot so the regenerated
+			// outputs match the ones the consumer already received.
+			ex.Engines = cloneState(p.retryState)
+			ex.Replay = append([]sim.Word(nil), p.blockBuf...)
+			ex.Committed = p.exitCount
+		case i == p.abortedStream:
+			// Aborted during reconfiguration: the engines were never swapped
+			// in and no word entered the chain, so the stream's standing
+			// state (below) is also its block-start state. A migrated block
+			// that was re-starting here still carries its replay residue.
+			ex.Engines = p.standingState(i, s)
+			ex.Replay = append([]sim.Word(nil), p.blockBuf...)
+			ex.Committed = p.resumeCommitted
+		default:
+			ex.Engines = p.standingState(i, s)
+		}
+		exports[i] = ex
+	}
+	p.streams = nil
+	return exports, nil
+}
+
+// standingState deep-copies stream i's between-blocks engine state: the live
+// engine objects when this stream's state is currently swapped in, its saved
+// snapshot otherwise, nil when it never ran.
+func (p *Pair) standingState(i int, s *Stream) [][]uint64 {
+	if !s.loaded {
+		return nil
+	}
+	if i == p.loadedStream {
+		st := make([][]uint64, len(s.Engines))
+		for t, e := range s.Engines {
+			st[t] = e.SaveState()
+		}
+		return st
+	}
+	return cloneState(s.saved)
+}
+
+func cloneState(st [][]uint64) [][]uint64 {
+	if st == nil {
+		return nil
+	}
+	out := make([][]uint64, len(st))
+	for i, w := range st {
+		out[i] = append([]uint64(nil), w...)
+	}
+	return out
+}
+
+// ImportStream registers an exported stream on this (standby) pair. The pair
+// must be paused — stream import is part of a staged mode transition, ended
+// by the ApplySlots/Resume that re-sizes and re-arms the migrated slots. The
+// export's engine state becomes the stream's saved snapshot, and any aborted
+// in-flight block is seeded for replay at its next beginBlock.
+func (p *Pair) ImportStream(e StreamExport) (int, error) {
+	if p.failed {
+		return 0, fmt.Errorf("gateway %s: cannot import onto a failed pair", p.cfg.Name)
+	}
+	if !p.paused {
+		return 0, fmt.Errorf("gateway %s: ImportStream requires a paused pair", p.cfg.Name)
+	}
+	s := e.Stream
+	if err := p.AddStream(s); err != nil {
+		return 0, err
+	}
+	// AddStream allocated a fresh saved-state table; restore the export's.
+	s.loaded = e.Engines != nil
+	if s.loaded {
+		s.saved = e.Engines
+	}
+	s.pendingReplay = e.Replay
+	s.pendingCommitted = e.Committed
+	return len(p.streams) - 1, nil
+}
+
+// RecordFailoverSpan appends a controller-level failover span (Stream = -1)
+// to the activity trace, when recording is enabled.
+func (p *Pair) RecordFailoverSpan(start, end sim.Time) {
+	if !p.cfg.RecordActivity {
+		return
+	}
+	p.Activities = append(p.Activities, Activity{Stream: -1, Kind: ActFailover, Start: start, End: end})
+}

@@ -147,6 +147,10 @@ const (
 	// ActFlush is a recovery span: from stall detection to the chain being
 	// cleared and credit state reset.
 	ActFlush
+	// ActFailover is a controller-level span covering a whole chain
+	// failover (freeze → settle → migrate → resume); recorded with
+	// Stream = -1 since it is not attributable to one stream.
+	ActFailover
 )
 
 func (k ActivityKind) String() string {
@@ -159,6 +163,8 @@ func (k ActivityKind) String() string {
 		return "drain"
 	case ActFlush:
 		return "flush"
+	case ActFailover:
+		return "failover"
 	}
 	return "?"
 }
@@ -189,6 +195,15 @@ type Stream struct {
 
 	saved  [][]uint64
 	loaded bool
+
+	// Failover migration state: a stream imported mid-block carries the
+	// input words its aborted attempt consumed on the failed chain
+	// (pendingReplay) and how many of its output words the consumer had
+	// already received (pendingCommitted). The next beginBlock replays the
+	// words and discards the already-committed outputs at the exit gateway,
+	// so the consumer sees every block position exactly once.
+	pendingReplay    []sim.Word
+	pendingCommitted int64
 
 	// Stats.
 	Blocks        uint64
@@ -284,6 +299,19 @@ type Pair struct {
 	blockQueued  sim.Time
 	blockStarted sim.Time
 
+	// Failover state. failed marks a pair retired by FreezeForFailover
+	// (terminal: both state machines become no-ops); abortedStream is the
+	// stream whose block the freeze aborted (-1 = none); loadedStream is
+	// the stream whose engine objects hold live (not saved) state;
+	// resumeCommitted seeds the exit counters when a migrated block
+	// resumes; stallObs is the failover controller's stall observer,
+	// parallel to Config.OnStall (which belongs to the platform builder).
+	failed          bool
+	abortedStream   int
+	loadedStream    int
+	resumeCommitted int64
+	stallObs        func(stream int)
+
 	// Exit state machine.
 	exitBusy    bool
 	exitCount   int64
@@ -344,7 +372,7 @@ func NewPair(k *sim.Kernel, net *ring.Dual, cfg Config, tiles []*accel.Tile, ent
 	p := &Pair{
 		cfg: cfg, k: k, net: net, tiles: tiles,
 		bus: accel.NewConfigBus(k, cfg.BusBase, cfg.BusPerWord), link: entryLink, exitNI: exitNI,
-		active: -1,
+		active: -1, abortedStream: -1, loadedStream: -1,
 	}
 	p.step = sim.NewWaker(k, p.entryRun)
 	p.exitStep = sim.NewWaker(k, p.exitRun)
@@ -395,13 +423,19 @@ func (p *Pair) Start() {
 }
 
 // ready reports whether stream i can be served now: not quarantined or
-// suspended, full input block, reserved output space.
+// suspended, full input block, reserved output space. A migrated stream's
+// pending replay words count toward its block — they were consumed from
+// the input FIFO on the failed chain and will be replayed locally.
 func (p *Pair) ready(i int) bool {
 	s := p.streams[i]
 	if s.Quarantined || s.Suspended {
 		return false
 	}
-	if s.In.Len() < int(s.Block) {
+	need := int(s.Block) - len(s.pendingReplay)
+	if need < 0 {
+		need = 0
+	}
+	if s.In.Len() < need {
 		return false
 	}
 	if p.cfg.DisableSpaceCheck {
@@ -426,7 +460,7 @@ func (p *Pair) trackQueued() {
 
 // entryRun is the entry gateway's step function.
 func (p *Pair) entryRun() {
-	if !p.started {
+	if !p.started || p.failed {
 		return
 	}
 	p.trackQueued()
@@ -480,6 +514,16 @@ func (p *Pair) beginBlock(i int) {
 	p.blockBuf = p.blockBuf[:0]
 	p.fetched = 0
 	p.exitDiscard = 0
+	p.resumeCommitted = 0
+	if len(s.pendingReplay) > 0 || s.pendingCommitted > 0 {
+		// Migrated in-flight block: replay the words its aborted attempt
+		// consumed on the failed chain; the output words the consumer
+		// already received are regenerated and discarded at the exit.
+		p.blockBuf = append(p.blockBuf, s.pendingReplay...)
+		p.resumeCommitted = s.pendingCommitted
+		s.pendingReplay = nil
+		s.pendingCommitted = 0
+	}
 	p.blockStarted = p.k.Now()
 	if s.queued {
 		p.blockQueued = s.queuedAt
@@ -507,6 +551,9 @@ func (p *Pair) beginBlock(i int) {
 	p.ReconfigCycles += uint64(cost)
 	p.phaseStart = p.k.Now()
 	p.bus.TransferCycles(cost, func() {
+		if p.failed {
+			return // the pair froze for failover while the bus was busy
+		}
 		if err := p.swapEngines(prev, i); err != nil {
 			panic(fmt.Sprintf("gateway %s: %v", p.cfg.Name, err))
 		}
@@ -520,8 +567,12 @@ func (p *Pair) beginBlock(i int) {
 		}
 		p.recordActivity(ActReconfig)
 		// Configure the exit gateway for the new block (its own port on the
-		// configuration bus, per Fig. 4b).
-		p.exitCount = 0
+		// configuration bus, per Fig. 4b). A migrated block resumes with
+		// its already-committed output words pre-counted and marked for
+		// discard (see Stream.pendingReplay).
+		p.exitCount = p.resumeCommitted
+		p.exitDiscard = p.resumeCommitted
+		p.resumeCommitted = 0
 		p.state = stStreaming
 		p.sent = 0
 		p.lastStreamStart = p.k.Now()
@@ -553,6 +604,7 @@ func (p *Pair) swapEngines(prev, next int) error {
 		}
 	}
 	ns.loaded = true
+	p.loadedStream = next
 	return nil
 }
 
@@ -671,6 +723,12 @@ func (p *Pair) stallDetected() {
 	p.streams[stream].StallCount++
 	if p.cfg.OnStall != nil {
 		p.cfg.OnStall(stream)
+	}
+	if p.stallObs != nil {
+		p.stallObs(stream)
+	}
+	if p.failed {
+		return // a stall observer triggered failover: the pair is retired
 	}
 	if !p.cfg.Recovery.Enabled {
 		return // detect-only (historical behaviour): the pair stays wedged
@@ -819,7 +877,7 @@ func (p *Pair) recordActivity(kind ActivityKind) {
 // exitRun is the exit gateway's step function: one sample per δ cycles from
 // the NI to the output C-FIFO.
 func (p *Pair) exitRun() {
-	if p.exitBusy || p.state == stFlushing {
+	if p.exitBusy || p.state == stFlushing || p.failed {
 		return
 	}
 	if p.exitHolding {
@@ -1056,6 +1114,9 @@ func (p *Pair) ApplySlots(updates []SlotUpdate, perSlotCost sim.Time, done func(
 	cost := perSlotCost * sim.Time(len(updates))
 	p.SlotCycles += uint64(cost)
 	p.bus.TransferCycles(cost, func() {
+		if p.failed {
+			return // the pair froze for failover while the bus was busy
+		}
 		for _, u := range updates {
 			s := p.streams[u.Stream]
 			if u.SetBlock > 0 {

@@ -1,9 +1,12 @@
 package mpsoc
 
 import (
+	"math/big"
 	"testing"
 
 	"accelshare/internal/accel"
+	"accelshare/internal/conformance"
+	"accelshare/internal/core"
 	"accelshare/internal/fault"
 	"accelshare/internal/gateway"
 )
@@ -69,10 +72,6 @@ func TestQuarantineRestoresBounds(t *testing.T) {
 	}
 
 	quarantinedAt := sys.Strs[0].GW.QuarantinedAt
-	// Eq. 2 with Rs=50, η=16, c0=max(ε,ρA,δ)=15; Eq. 4 over the two
-	// survivors.
-	const tauHat = 50 + (16+2)*15 // 320
-	const gammaHat = 2 * tauHat   // 640
 	for i := 1; i <= 2; i++ {
 		sr := rep.PerStream[i]
 		if sr.Stalls != 0 || sr.Quarantined {
@@ -84,27 +83,37 @@ func TestQuarantineRestoresBounds(t *testing.T) {
 		if sr.Blocks < 100 {
 			t.Errorf("%s completed only %d blocks over the horizon", sr.Name, sr.Blocks)
 		}
-		// Blocks queued during the disturbance carry the recovery backlog in
-		// their turnaround; the Eq. 2/4 bounds apply once the survivors have
-		// re-converged, so allow a settle margin past the quarantine (the
-		// ~47% spare capacity drains the backlog well within it).
-		settled := quarantinedAt + 20_000
-		post := 0
-		for _, b := range sys.Strs[i].GW.Turnarounds {
-			if b.Queued < settled {
-				continue
-			}
-			post++
-			if lat := b.Done - b.Started; lat > tauHat {
-				t.Errorf("%s post-quarantine service latency %d > τ̂ %d", sr.Name, lat, tauHat)
-			}
-			if turn := b.Done - b.Queued; turn > gammaHat {
-				t.Errorf("%s post-quarantine turnaround %d > γ̂ %d", sr.Name, turn, gammaHat)
-			}
-		}
-		if post < 50 {
-			t.Errorf("%s has only %d post-quarantine block records", sr.Name, post)
-		}
+	}
+	// Bound conformance over the survivor set: Eq. 2 with Rs=50, η=16,
+	// c0=max(ε,ρA,δ)=15 gives τ̂=320, Eq. 4 over the TWO survivors γ̂=640.
+	// Blocks queued during the disturbance carry the recovery backlog in
+	// their turnaround; the bounds apply once the survivors have
+	// re-converged, so the check starts a settle margin past the quarantine
+	// (the ~47% spare capacity drains the backlog well within it).
+	survivors := &core.System{
+		Chain: core.Chain{
+			Name: "faulty", AccelCosts: []uint64{1},
+			EntryCost: 15, ExitCost: 1, NICapacity: 2,
+		},
+		ClockHz: 1,
+	}
+	for _, name := range []string{"s1", "s2"} {
+		survivors.Streams = append(survivors.Streams, core.Stream{
+			Name: name, Rate: big.NewRat(1, 75), Reconfig: 50, Block: 16,
+		})
+	}
+	bounds, err := conformance.FromModel(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[0].TauHat != 320 || bounds[0].GammaHat != 640 {
+		t.Fatalf("survivor bounds τ̂=%d γ̂=%d, want 320/640", bounds[0].TauHat, bounds[0].GammaHat)
+	}
+	res := conformance.FromStreams(bounds,
+		[]*gateway.Stream{sys.Strs[1].GW, sys.Strs[2].GW},
+		conformance.Options{After: quarantinedAt + 20_000, MinBlocks: 50})
+	if err := res.Err(); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -42,8 +42,12 @@ type ChainSpec struct {
 	// ring topology is fixed in hardware, so online admission can only use
 	// slots that were reserved when the platform was built.
 	ReserveSlots int
-	Accels       []AccelSpec
-	Streams      []StreamSpec
+	// Standby marks a chain built with zero streams, held in reserve as a
+	// failover target (NewFailover): the paper's second gateway pair. Its
+	// accelerator tiles sit idle until streams migrate onto them.
+	Standby bool
+	Accels  []AccelSpec
+	Streams []StreamSpec
 }
 
 // MultiConfig assembles a platform with several shared chains on one ring.
@@ -99,7 +103,7 @@ func BuildMulti(cfg MultiConfig) (*MultiSystem, error) {
 		if len(ch.Accels) == 0 {
 			return nil, fmt.Errorf("mpsoc: chain %q has no accelerators", ch.Name)
 		}
-		if len(ch.Streams) == 0 {
+		if len(ch.Streams) == 0 && !ch.Standby {
 			return nil, fmt.Errorf("mpsoc: chain %q has no streams", ch.Name)
 		}
 		total += 2 + len(ch.Accels) + 2*(len(ch.Streams)+ch.ReserveSlots)

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"sort"
+
+	"accelshare/internal/gateway"
+)
+
+// FromActivities builds a Gantt from a gateway pair's recorded activity
+// spans: one row per stream (named by the caller, in slot order) plus a
+// synthetic "failover" row for controller-level spans (Stream = -1). The
+// span Phase carries the gateway.ActivityKind, so a renderer can
+// distinguish reconfig/stream/drain/flush/failover phases.
+func FromActivities(names []string, acts []gateway.Activity) *Gantt {
+	rows := map[int][]Span{}
+	var minT, maxT uint64
+	first := true
+	for _, a := range acts {
+		rows[a.Stream] = append(rows[a.Stream], Span{
+			Start: uint64(a.Start), End: uint64(a.End), Phase: int(a.Kind),
+		})
+		if first || uint64(a.Start) < minT {
+			minT = uint64(a.Start)
+		}
+		if first || uint64(a.End) > maxT {
+			maxT = uint64(a.End)
+		}
+		first = false
+	}
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ga := &Gantt{Start: minT, End: maxT}
+	for _, id := range ids {
+		name := "failover"
+		if id >= 0 {
+			if id < len(names) {
+				name = names[id]
+			} else {
+				name = "s?"
+			}
+		}
+		spans := rows[id]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		ga.Rows = append(ga.Rows, Row{Name: name, Spans: spans})
+	}
+	return ga
+}
