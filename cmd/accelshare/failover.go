@@ -76,6 +76,11 @@ type failoverScenario struct {
 	// standby accelerator's per-sample cost (default 1 = identical chain).
 	resolve     bool
 	standbyCost uint64
+	// ckpt enables checkpointed recovery (interval in input samples) on
+	// both chains: the migrated residue shrinks to ≤ ckpt words and the
+	// cost bound uses the adjusted Eq. 2 term τ̂(K).
+	ckpt     int64
+	ckptCost sim.Time
 }
 
 // failoverModel is the primary's temporal model: three streams, ε=15, ρA=1,
@@ -137,6 +142,17 @@ func failoverScenarios(override *fault.Plan) []failoverScenario {
 			resolve:     true,
 			standbyCost: 20,
 		},
+		{
+			// The same permanent wedge on a checkpointing chain: the
+			// in-flight block's residue is the words since the last
+			// K-sample checkpoint (≤ 4), not the whole η=16, and the bound
+			// pays the adjusted τ̂(K) = 50 + (16+2·4)·15 + 3·5 = 425.
+			name:     "wedge-link entry@5k (ckpt K=4)",
+			plan:     wedgePlan,
+			doctor:   wedgeDoctor,
+			ckpt:     4,
+			ckptCost: 5,
+		},
 	}
 }
 
@@ -157,6 +173,12 @@ func failoverPlatform(sc failoverScenario) (*mpsoc.MultiSystem, *mpsoc.FailoverC
 	if standbyCost == 0 {
 		standbyCost = 1
 	}
+	recovery := gateway.Recovery{Enabled: true, RetryLimit: 2}
+	if sc.ckpt > 0 {
+		recovery.Checkpoint = sc.ckpt
+		recovery.CheckpointCost = sc.ckptCost
+		recovery.ValueExact = true
+	}
 	ms, err := mpsoc.BuildMulti(mpsoc.MultiConfig{
 		Name:           "failover",
 		HopLatency:     1,
@@ -170,7 +192,7 @@ func failoverPlatform(sc failoverScenario) (*mpsoc.MultiSystem, *mpsoc.FailoverC
 				Accels:            []mpsoc.AccelSpec{{Name: "acc", Cost: 1, NICapacity: 2}},
 				Streams:           []mpsoc.StreamSpec{stream("s0"), stream("s1"), stream("s2")},
 				DrainTimeout:      600,
-				Recovery:          gateway.Recovery{Enabled: true, RetryLimit: 2},
+				Recovery:          recovery,
 				Faults:            sc.plan,
 				RecordTurnarounds: true,
 			},
@@ -182,7 +204,7 @@ func failoverPlatform(sc failoverScenario) (*mpsoc.MultiSystem, *mpsoc.FailoverC
 				Accels:            []mpsoc.AccelSpec{{Name: "acc-b", Cost: sim.Time(standbyCost), NICapacity: 2}},
 				Standby:           true,
 				DrainTimeout:      600,
-				Recovery:          gateway.Recovery{Enabled: true, RetryLimit: 2},
+				Recovery:          recovery,
 				RecordTurnarounds: true,
 			},
 		},
@@ -192,9 +214,11 @@ func failoverPlatform(sc failoverScenario) (*mpsoc.MultiSystem, *mpsoc.FailoverC
 	}
 	fcfg := mpsoc.FailoverConfig{
 		Primary: 0, Standby: 1,
-		Model:       failoverModel(),
-		PerSlotCost: 10,
-		Resolve:     sc.resolve,
+		Model:          failoverModel(),
+		PerSlotCost:    10,
+		Resolve:        sc.resolve,
+		Checkpoint:     sc.ckpt,
+		CheckpointCost: sc.ckptCost,
 	}
 	if standbyCost != 1 {
 		fcfg.StandbyChain = &core.Chain{
@@ -331,13 +355,20 @@ func failoverCampaign(w io.Writer, horizon sim.Time, override *fault.Plan) error
 				modelLive.Streams = append(modelLive.Streams, model.Streams[i])
 			}
 		}
-		bounds, err = conformance.FromModel(modelLive)
+		// Checkpointed scenarios check against the adjusted τ̂(K)/γ̂(K) and
+		// additionally bound per-block replay work by K (Replayed ≤ retries·K;
+		// the migrated block itself completes before the post-transient cut).
+		bounds, err = conformance.FromModelCheckpointed(modelLive, sc.ckpt, uint64(sc.ckptCost))
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.name, err)
 		}
-		res := conformance.FromStreams(bounds, streams, conformance.Options{
+		opts := conformance.Options{
 			After: conformanceCut(rec), SkipRetried: true, MinBlocks: 5,
-		})
+		}
+		if sc.ckpt > 0 {
+			opts.ReplayBound = sc.ckpt
+		}
+		res := conformance.FromStreams(bounds, streams, opts)
 		fmt.Fprintf(w, "conformance after t=%d: %d blocks checked, %d violations\n",
 			conformanceCut(rec), res.Checked, len(res.Violations))
 		for _, v := range res.Violations {

@@ -45,8 +45,10 @@ func runFaults(args []string) error {
 // one accelerator, ε=15, ρA=1, δ=1, Rs=50, η=16. τ̂ = 50+18·15 = 320 per
 // stream (Eq. 2), γ̂ = 960 over three streams (Eq. 4); at one sample per
 // 75 cycles each stream needs 1200 cycles per block > γ̂, so the fault-free
-// system meets every constraint with slack.
-func campaignConfig(plan *fault.Plan) mpsoc.Config {
+// system meets every constraint with slack. Checkpointed scenarios override
+// the recovery config (K=4, value-exact) and pay the adjusted Eq. 2 term
+// τ̂(K) = 50 + (16+2·4)·15 + 3·5 = 425 instead.
+func campaignConfig(plan *fault.Plan, rec gateway.Recovery) mpsoc.Config {
 	stream := func(name string) mpsoc.StreamSpec {
 		return mpsoc.StreamSpec{
 			Name: name, Block: 16, Decimation: 1, Reconfig: 50,
@@ -56,22 +58,38 @@ func campaignConfig(plan *fault.Plan) mpsoc.Config {
 		}
 	}
 	return mpsoc.Config{
-		Name:         "campaign",
-		EntryCost:    15,
-		ExitCost:     1,
-		Mode:         gateway.ReconfigFixed,
-		HopLatency:   1,
-		Accels:       []mpsoc.AccelSpec{{Name: "acc", Cost: 1, NICapacity: 2}},
-		Streams:      []mpsoc.StreamSpec{stream("s0"), stream("s1"), stream("s2")},
-		DrainTimeout: 600,
-		Recovery:     gateway.Recovery{Enabled: true, RetryLimit: 2},
-		Faults:       plan,
+		Name:              "campaign",
+		EntryCost:         15,
+		ExitCost:          1,
+		Mode:              gateway.ReconfigFixed,
+		HopLatency:        1,
+		Accels:            []mpsoc.AccelSpec{{Name: "acc", Cost: 1, NICapacity: 2}},
+		Streams:           []mpsoc.StreamSpec{stream("s0"), stream("s1"), stream("s2")},
+		DrainTimeout:      600,
+		Recovery:          rec,
+		Faults:            plan,
+		RecordTurnarounds: true,
 	}
 }
 
 type faultScenario struct {
 	name string
 	plan *fault.Plan
+	// ckpt enables checkpointed recovery with this interval (0 = plain
+	// block-start retry).
+	ckpt int64
+}
+
+// campaignRecovery is the per-scenario recovery config: checkpointed
+// scenarios snapshot every ckpt input samples with value-exact staging.
+func campaignRecovery(ckpt int64) gateway.Recovery {
+	rec := gateway.Recovery{Enabled: true, RetryLimit: 2}
+	if ckpt > 0 {
+		rec.Checkpoint = ckpt
+		rec.CheckpointCost = 5
+		rec.ValueExact = true
+	}
+	return rec
 }
 
 // campaignScenarios builds the fault grid. Onsets are in absolute engine
@@ -121,6 +139,24 @@ func campaignScenarios() []faultScenario {
 				{Kind: fault.WedgeNode, Site: 0, At: 5_000, Duration: 1_500},
 			}},
 		},
+		// Checkpointed scenarios: the same transient drop now resumes from
+		// the last K-sample checkpoint — the replay column shows sub-block
+		// replay work (≤ K per retry) instead of full-block replay — and a
+		// permanent stick still walks the retry ladder into quarantine.
+		faultScenario{
+			name: "ckpt-K4 drop-sample s0@29",
+			plan: &fault.Plan{Faults: []fault.Fault{
+				{Kind: fault.DropSample, Stream: 0, Site: 0, Sample: 29},
+			}},
+			ckpt: 4,
+		},
+		faultScenario{
+			name: "ckpt-K4 stick-engine s0@24",
+			plan: &fault.Plan{Faults: []fault.Fault{
+				{Kind: fault.StickEngine, Stream: 0, Site: 0, Sample: 24},
+			}},
+			ckpt: 4,
+		},
 	)
 	return scs
 }
@@ -132,13 +168,15 @@ func faultCampaign(w io.Writer, horizon sim.Time) error {
 	fmt.Fprintln(w, "verdict per stream: PASS = zero source overflows (throughput constraint μs")
 	fmt.Fprintln(w, "met over the whole horizon); QUARANTINED = removed after the retry budget;")
 	fmt.Fprintln(w, "a quarantined stream's own FAIL is expected — the healthy ones must PASS.")
+	fmt.Fprintln(w, "replay = input words re-issued by retries over the whole run: full blocks")
+	fmt.Fprintln(w, "(η=16 each) without checkpointing, at most K per retry with it (ckpt-K4).")
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-26s %-4s %8s %7s %8s %10s %s\n",
-		"scenario", "strm", "blocks", "stalls", "retries", "overflows", "verdict")
+	fmt.Fprintf(w, "%-26s %-4s %8s %7s %8s %7s %10s %s\n",
+		"scenario", "strm", "blocks", "stalls", "retries", "replay", "overflows", "verdict")
 
 	allHealthyPass := true
 	for _, sc := range campaignScenarios() {
-		sys, err := mpsoc.Build(campaignConfig(sc.plan))
+		sys, err := mpsoc.Build(campaignConfig(sc.plan, campaignRecovery(sc.ckpt)))
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.name, err)
 		}
@@ -153,19 +191,23 @@ func faultCampaign(w io.Writer, horizon sim.Time) error {
 				verdict = "FAIL"
 				allHealthyPass = false
 			}
+			var replayed int64
+			for _, r := range sys.Strs[i].GW.Turnarounds {
+				replayed += r.Replayed
+			}
 			name := ""
 			if i == 0 {
 				name = sc.name
 			}
-			fmt.Fprintf(w, "%-26s %-4s %8d %7d %8d %10d %s\n",
-				name, sr.Name, sr.Blocks, sr.Stalls, sr.Retries, sr.Overflows, verdict)
+			fmt.Fprintf(w, "%-26s %-4s %8d %7d %8d %7d %10d %s\n",
+				name, sr.Name, sr.Blocks, sr.Stalls, sr.Retries, replayed, sr.Overflows, verdict)
 		}
 	}
 	fmt.Fprintln(w)
 	if allHealthyPass {
 		fmt.Fprintln(w, "all non-quarantined streams met their throughput constraints in every")
-		fmt.Fprintln(w, "scenario: transient faults cost one block retry, permanent faults cost")
-		fmt.Fprintln(w, "one stream — never the platform.")
+		fmt.Fprintln(w, "scenario: transient faults cost one block retry (bounded by K when")
+		fmt.Fprintln(w, "checkpointed), permanent faults cost one stream — never the platform.")
 	} else {
 		fmt.Fprintln(w, "WARNING: a non-quarantined stream missed its throughput constraint.")
 	}

@@ -21,6 +21,11 @@
 // The transition cost is itself bounded — the drain waits at most one
 // in-flight block turnaround max τ̂s plus the bus transaction — and both
 // the bound and the measured cost are recorded in the decision's Verdict.
+// On a checkpointing chain (Config.Checkpoint = K) that in-flight block
+// additionally pays the interior quiesce/save overhead, so the guard uses
+// the adjusted Eq. 2 term τ̂s(K) = Rs + (ηs + 2·⌈ηs/K⌉)·c0 +
+// (⌈ηs/K⌉−1)·Csave (core.TauHatCheckpointed) — leaving Checkpoint zero on
+// such a chain would under-estimate the drain bound.
 //
 // Readmission of a quarantined stream is probational: the stream re-enters
 // arbitration with a canary block; one clean completion clears probation,
@@ -173,6 +178,18 @@ type Config struct {
 	// from a script (Play); direct AddStream callers supply engines in the
 	// request spec instead.
 	Engines func(name string) []accel.Engine
+	// Checkpoint and CheckpointCost mirror the controlled chain's
+	// gateway.Recovery.Checkpoint / CheckpointCost. When Checkpoint > 0 the
+	// re-solve guard's transition envelope uses the adjusted Eq. 2 term
+	// τ̂s(K) (core.TauHatCheckpointed): a pause can still only wait for one
+	// in-flight block, but that block now pays its interior checkpoint
+	// quiesces and snapshot transfers — the residue a retry replays shrinks
+	// to K, while the clean-block envelope the guard charges grows by the
+	// checkpoint overhead. Leaving these zero on a checkpointed chain makes
+	// the guard optimistic: a transition overlapping a checkpoint could
+	// measure above its bound.
+	Checkpoint     int64
+	CheckpointCost sim.Time
 }
 
 // Controller is the admission control plane for one chain.
@@ -359,11 +376,13 @@ func checkBuffers(model *core.System, decim []int64, caps [][2]int) (string, err
 // transitionBound is the drain-plus-bus envelope for one transition over
 // the OUTGOING configuration: the pause can wait for one in-flight block
 // of the slowest stream (τ̂s covers its reconfiguration, streaming and
-// flush), then the bus transaction reprograms `slots` slots.
+// flush — the checkpoint-adjusted τ̂s(K) when the chain checkpoints, since
+// that block also pays its interior quiesces), then the bus transaction
+// reprograms `slots` slots.
 func (c *Controller) transitionBound(slots int) uint64 {
 	var maxTau uint64
 	for i := range c.model.Streams {
-		if t, err := c.model.TauHat(i); err == nil && t > maxTau {
+		if t, err := c.model.TauHatCheckpointed(i, c.cfg.Checkpoint, uint64(c.cfg.CheckpointCost)); err == nil && t > maxTau {
 			maxTau = t
 		}
 	}

@@ -10,7 +10,16 @@
 // caller scopes the trace (Options.After cuts convergence transients, e.g.
 // everything before a quarantine or failover settled) and decides whether
 // retried blocks may exceed τ̂s (Options.SkipRetried — a retry legitimately
-// pays the flush + replay on top of the clean-run bound).
+// pays the flush + replay on top of the clean-run bound, or, sharper,
+// Options.RetrySlack widens τ̂s by a per-retry allowance derived from
+// detection latency plus core.ResumeBound instead of exempting the block).
+//
+// For checkpointed recovery the harness also checks the replay-cost claim
+// itself: FromModelCheckpointed derives bounds from the adjusted Eq. 2 term
+// τ̂s(K) (core.TauHatCheckpointed), and Options.ReplayBound asserts that
+// every block's measured replay work (gateway.BlockRecord.Replayed) stayed
+// within retries·K — a retry resumed from the last checkpoint, never from
+// block start.
 package conformance
 
 import (
@@ -40,20 +49,33 @@ type StreamBounds struct {
 // FromModel derives every stream's bounds from the temporal model. Block
 // sizes must be solved (TauHat errors otherwise).
 func FromModel(s *core.System) ([]StreamBounds, error) {
+	return FromModelCheckpointed(s, 0, 0)
+}
+
+// FromModelCheckpointed derives every stream's bounds under a checkpoint
+// interval of k input samples and a per-checkpoint snapshot cost: TauHat
+// becomes the adjusted Eq. 2 term τ̂s(k) (core.TauHatCheckpointed) and
+// GammaHat the matching Eq. 4 sum — checkpoint quiesces stretch every
+// stream's block, so the round-robin interference term grows with them.
+// k ≤ 0 is the plain FromModel. k must already be rounded to each stream's
+// decimation (the gateway rounds up, so pass the rounded value).
+func FromModelCheckpointed(s *core.System, k int64, saveCost uint64) ([]StreamBounds, error) {
+	taus := make([]uint64, len(s.Streams))
+	var sum uint64
+	for i := range s.Streams {
+		tau, err := s.TauHatCheckpointed(i, k, saveCost)
+		if err != nil {
+			return nil, err
+		}
+		taus[i] = tau
+		sum += tau
+	}
 	out := make([]StreamBounds, len(s.Streams))
 	for i := range s.Streams {
-		tau, err := s.TauHat(i)
-		if err != nil {
-			return nil, err
-		}
-		gamma, err := s.GammaHat(i)
-		if err != nil {
-			return nil, err
-		}
 		out[i] = StreamBounds{
 			Name:     s.Streams[i].Name,
-			TauHat:   tau,
-			GammaHat: gamma,
+			TauHat:   taus[i],
+			GammaHat: sum, // ε̂s + τ̂s = Σ over all streams (Eq. 3 + Eq. 4)
 			Rate:     s.RatePerCycle(i),
 			Block:    s.Streams[i].Block,
 		}
@@ -83,12 +105,27 @@ type Options struct {
 	// stream's γ̂ is transiently stale across an admission transition.
 	SkipGamma      bool
 	SkipThroughput bool
+	// ReplayBound, when positive, checks every block's measured replay work:
+	// the input words re-issued beyond the first pass (BlockRecord.Replayed)
+	// must not exceed Retries × ReplayBound. With checkpointing every K
+	// samples the bound is K — a retry resumes from the last checkpoint,
+	// never further back — where full-block replay would cost up to ηs per
+	// retry. This is the measured side of the adjusted Eq. 2 argument:
+	// replay work ≤ K, so one resume costs at most core.ResumeBound.
+	ReplayBound int64
+	// RetrySlack, when positive, replaces SkipRetried's blanket exemption
+	// for the τ̂s check: a retried block's service latency is checked against
+	// TauHat + Retries × RetrySlack instead of being skipped. Callers derive
+	// the slack from the adjusted Eq. 2 term: one detect-flush-resume cycle
+	// costs at most the watchdog window (detection) + the flush settle +
+	// core.ResumeBound (reload and ≤ K + 2 samples of replay).
+	RetrySlack uint64
 }
 
 // Violation is one bound breach.
 type Violation struct {
 	Stream string
-	// Kind is "tau", "gamma", "throughput" or "coverage".
+	// Kind is "tau", "gamma", "throughput", "replay" or "coverage".
 	Kind string
 	// Block indexes the offending record within the stream's in-scope trace
 	// (-1 for stream-level violations).
@@ -160,13 +197,29 @@ func Check(bounds []StreamBounds, records [][]gateway.BlockRecord, opt Options) 
 		}
 		res.Checked += len(recs)
 		for bi, r := range recs {
-			if !(opt.SkipRetried && r.Retries > 0) {
-				if lat := uint64(r.Done - r.Started); lat > sb.TauHat {
+			tauLimit, checkTau := sb.TauHat, true
+			if r.Retries > 0 {
+				switch {
+				case opt.RetrySlack > 0:
+					tauLimit += uint64(r.Retries) * opt.RetrySlack
+				case opt.SkipRetried:
+					checkTau = false
+				}
+			}
+			if checkTau {
+				if lat := uint64(r.Done - r.Started); lat > tauLimit {
 					res.Violations = append(res.Violations, Violation{
 						Stream: sb.Name, Kind: "tau", Block: bi,
-						Detail: fmt.Sprintf("service latency %d > tau-hat %d", lat, sb.TauHat),
+						Detail: fmt.Sprintf("service latency %d > tau-hat %d (retries %d)", lat, tauLimit, r.Retries),
 					})
 				}
+			}
+			if opt.ReplayBound > 0 && r.Replayed > int64(r.Retries)*opt.ReplayBound {
+				res.Violations = append(res.Violations, Violation{
+					Stream: sb.Name, Kind: "replay", Block: bi,
+					Detail: fmt.Sprintf("replayed %d words over %d retries > bound %d per retry",
+						r.Replayed, r.Retries, opt.ReplayBound),
+				})
 			}
 			if !opt.SkipGamma {
 				if turn := uint64(r.Done - r.Queued); turn > sb.GammaHat {

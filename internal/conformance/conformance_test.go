@@ -63,6 +63,81 @@ func TestSkipRetriedExemptsTauOnly(t *testing.T) {
 	}
 }
 
+func TestRetrySlackBoundsRetriedBlocks(t *testing.T) {
+	records := [][]gateway.BlockRecord{{
+		rec(0, 10, 100, 0),    // clean: lat 90 ≤ 100
+		rec(100, 110, 300, 1), // retried: lat 190 ≤ 100 + 1·100
+		rec(300, 310, 550, 1), // retried: lat 240 > 100 + 1·100 → tau
+	}}
+	res := Check(oneBound(), records, Options{RetrySlack: 100})
+	got := kinds(res)
+	if len(got) != 1 || got[0] != "tau" {
+		t.Fatalf("violations = %v, want [tau] (slack covers one retry, not an over-budget one)", got)
+	}
+	// RetrySlack takes precedence over SkipRetried: the bound is enforced,
+	// just widened.
+	res = Check(oneBound(), records, Options{RetrySlack: 100, SkipRetried: true})
+	if got := kinds(res); len(got) != 1 || got[0] != "tau" {
+		t.Fatalf("violations = %v, want [tau] (RetrySlack overrides the blanket exemption)", got)
+	}
+}
+
+func TestReplayBoundChecksRetryWork(t *testing.T) {
+	mk := func(replayed int64, retries int) gateway.BlockRecord {
+		r := rec(0, 10, 100, retries)
+		r.Replayed = replayed
+		return r
+	}
+	records := [][]gateway.BlockRecord{{
+		mk(0, 0), // clean first pass
+		mk(4, 1), // one retry, replay ≤ K
+		mk(8, 2), // two retries, 2·K total
+		mk(9, 2), // 9 > 2·4 → replay violation
+		mk(1, 0), // replay without a retry → violation
+	}}
+	res := Check(oneBound(), records, Options{ReplayBound: 4})
+	got := kinds(res)
+	if len(got) != 2 || got[0] != "replay" || got[1] != "replay" {
+		t.Fatalf("violations = %v, want [replay replay]", got)
+	}
+	// Disabled (zero) bound checks nothing.
+	res = Check(oneBound(), records, Options{})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations with ReplayBound=0: %v", res.Violations)
+	}
+}
+
+func TestFromModelCheckpointedAdjustsBounds(t *testing.T) {
+	s := &core.System{
+		Chain: core.Chain{EntryCost: 15, ExitCost: 15, AccelCosts: []uint64{15}},
+		Streams: []core.Stream{
+			{Name: "a", Reconfig: 4100, Block: 100, Rate: big.NewRat(44100, 1)},
+			{Name: "b", Reconfig: 4100, Block: 100, Rate: big.NewRat(44100, 1)},
+		},
+		ClockHz: 100_000_000,
+	}
+	plain, err := FromModel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := FromModelCheckpointed(s, 25, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ̂(K=25) = 4100 + (100 + 2·4)·15 + 3·60 = 5900 per stream; γ̂ = Σ τ̂.
+	for i, sb := range ck {
+		if sb.TauHat != 5900 {
+			t.Errorf("stream %d: TauHat = %d, want 5900", i, sb.TauHat)
+		}
+		if sb.GammaHat != 2*5900 {
+			t.Errorf("stream %d: GammaHat = %d, want %d", i, sb.GammaHat, 2*5900)
+		}
+		if sb.TauHat <= plain[i].TauHat {
+			t.Errorf("stream %d: checkpointed tau-hat %d not above plain %d", i, sb.TauHat, plain[i].TauHat)
+		}
+	}
+}
+
 func TestAfterCutsTransients(t *testing.T) {
 	records := [][]gateway.BlockRecord{{
 		rec(0, 10, 500, 0),    // transient: violates both, done before the cut

@@ -148,6 +148,51 @@ func (s *System) TauHat(i int) (uint64, error) {
 	return st.Reconfig + uint64(st.Block+2)*s.Chain.C0(), nil
 }
 
+// TauHatCheckpointed returns τ̂s(K) — Eq. 2 adjusted for mid-block
+// checkpointing. With the gateway snapshotting engine state every K input
+// samples, a block of ηs samples streams as n = ⌈ηs/K⌉ sub-blocks; every
+// sub-block ends with a pipeline quiesce (the same "+2"·c0 flush Eq. 2
+// charges once at block end) and each of the n−1 interior checkpoints adds
+// one snapshot transfer of saveCost cycles on the configuration bus:
+//
+//	τ̂s(K) = Rs + (ηs + 2·⌈ηs/K⌉)·c0 + (⌈ηs/K⌉−1)·Csave
+//
+// K must already be rounded to the stream's decimation (the gateway rounds
+// up); K ≤ 0 or K ≥ ηs degenerates to the unadjusted TauHat.
+func (s *System) TauHatCheckpointed(i int, k int64, saveCost uint64) (uint64, error) {
+	st := &s.Streams[i]
+	if st.Block <= 0 {
+		return 0, fmt.Errorf("%w: %s", ErrBlockUnknown, st.Name)
+	}
+	if k <= 0 || k >= st.Block {
+		return s.TauHat(i)
+	}
+	n := (st.Block + k - 1) / k
+	return st.Reconfig + uint64(st.Block+2*n)*s.Chain.C0() + uint64(n-1)*saveCost, nil
+}
+
+// ResumeBound bounds the work one mid-block resume may redo under
+// checkpointing every K input samples: the abort-and-reconfigure reload
+// (Rs over the configuration bus), at most K replayed samples (the resume
+// point is the last checkpoint, never further back), and the sub-block's
+// pipeline flush:
+//
+//	resume ≤ Rs + (K + 2)·c0
+//
+// This is the term the conservative Eq. 2 envelope must absorb per retry —
+// O(K) where full-block replay was O(ηs). K ≤ 0 or K ≥ ηs means no
+// checkpointing: the whole block replays (K = ηs).
+func (s *System) ResumeBound(i int, k int64) (uint64, error) {
+	st := &s.Streams[i]
+	if st.Block <= 0 {
+		return 0, fmt.Errorf("%w: %s", ErrBlockUnknown, st.Name)
+	}
+	if k <= 0 || k > st.Block {
+		k = st.Block
+	}
+	return st.Reconfig + uint64(k+2)*s.Chain.C0(), nil
+}
+
 // EpsilonHat returns ε̂s (Eq. 3): the worst-case time stream i waits for the
 // round-robin arbiter while every other stream's block is processed once.
 func (s *System) EpsilonHat(i int) (uint64, error) {

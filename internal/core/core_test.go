@@ -104,6 +104,69 @@ func TestTauHatEquation2(t *testing.T) {
 	}
 }
 
+func TestTauHatCheckpointed(t *testing.T) {
+	s := palSystem()
+	s.Streams[0].Block = 100
+	// K = 25 → n = ⌈100/25⌉ = 4 sub-blocks, each quiescing the pipeline:
+	// τ̂(K) = 4100 + (100 + 2·4)·15 + (4−1)·60 = 4100 + 1620 + 180 = 5900.
+	tau, err := s.TauHatCheckpointed(0, 25, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 5900 {
+		t.Errorf("TauHatCheckpointed(25, 60) = %d, want 5900", tau)
+	}
+	// K ≤ 0 and K ≥ η degenerate to the plain Eq. 2 term.
+	plain, _ := s.TauHat(0)
+	for _, k := range []int64{0, -1, 100, 500} {
+		tau, err := s.TauHatCheckpointed(0, k, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tau != plain {
+			t.Errorf("TauHatCheckpointed(k=%d) = %d, want plain tau-hat %d", k, tau, plain)
+		}
+	}
+	// Non-dividing K: ⌈100/30⌉ = 4 sub-blocks again.
+	tau, err = s.TauHatCheckpointed(0, 30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 5900 {
+		t.Errorf("TauHatCheckpointed(30, 60) = %d, want 5900", tau)
+	}
+	s.Streams[1].Block = 0
+	if _, err := s.TauHatCheckpointed(1, 25, 60); err == nil {
+		t.Error("TauHatCheckpointed with unset block should error")
+	}
+}
+
+func TestResumeBound(t *testing.T) {
+	s := palSystem()
+	s.Streams[0].Block = 100
+	// One resume reloads Rs and replays ≤ K samples plus the quiesce:
+	// 4100 + (25+2)·15 = 4505.
+	b, err := s.ResumeBound(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 4505 {
+		t.Errorf("ResumeBound(25) = %d, want 4505", b)
+	}
+	// Without checkpointing the resume replays the whole block.
+	b, err = s.ResumeBound(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(4100 + (100+2)*15); b != want {
+		t.Errorf("ResumeBound(0) = %d, want %d (full-block replay)", b, want)
+	}
+	s.Streams[1].Block = 0
+	if _, err := s.ResumeBound(1, 25); err == nil {
+		t.Error("ResumeBound with unset block should error")
+	}
+}
+
 func TestGammaIsSumOfTaus(t *testing.T) {
 	s := palSystem()
 	for i := range s.Streams {

@@ -10,6 +10,16 @@
 // The package deliberately does not import the gateway: lost-idle faults
 // are delivered through the gateway's plain DropIdle hook (IdleDropper
 // returns a compatible closure), which keeps the dependency graph acyclic.
+//
+// In the recovery ladder this package is the adversary: its faults exercise
+// detection (the drain watchdog derived from Eq. 2's flush allowance),
+// block retry and checkpointed resume (gateway.Recovery), stream
+// quarantine, and whole-chain failover (the Doctor's wedged-chain verdict
+// feeding mpsoc.FailoverController). The Engine wrapper's lifetime sample
+// counter is deliberately NOT part of SaveState: a transient fault that has
+// fired stays fired, so an engine-state snapshot taken at a checkpoint
+// never re-arms it and a replay past the fault position processes the same
+// inputs cleanly — which is exactly what makes checkpointed retry converge.
 package fault
 
 import (

@@ -29,12 +29,18 @@ import (
 // per-tile engine state the standby restores before the stream's next block
 // (nil when the stream never ran on the failed chain); Replay and Committed
 // carry the aborted in-flight block: the input words its attempt consumed
-// and the output words the consumer had already received.
+// and the output words the consumer had already received. ReplayStart is
+// the absolute input position the replay window starts at — 0 without
+// checkpointing (Engines is then the block-start snapshot and the whole
+// consumed prefix is in Replay), the last committed checkpoint boundary
+// with it (Engines is the checkpoint snapshot, Replay holds only the ≤ K
+// words consumed since, and the standby resumes mid-block).
 type StreamExport struct {
-	Stream    *Stream
-	Engines   [][]uint64
-	Replay    []sim.Word
-	Committed int64
+	Stream      *Stream
+	Engines     [][]uint64
+	Replay      []sim.Word
+	Committed   int64
+	ReplayStart int64
 }
 
 // Failed reports whether the pair was retired by FreezeForFailover.
@@ -69,6 +75,13 @@ func (p *Pair) FreezeForFailover() error {
 	p.exitBusy = false
 	p.exitHolding = false
 	p.pauseCb = nil // a pending admission pause dies with the pair
+	if n := int64(len(p.stage)); n > 0 {
+		// Value-exact staged words never reached the consumer: roll the
+		// watermark back so the export's Committed is exactly what the
+		// consumer holds and the standby regenerates the rest.
+		p.exitCount -= n
+		p.stage = nil
+	}
 	return nil
 }
 
@@ -97,12 +110,15 @@ func (p *Pair) ExportStreams() ([]StreamExport, error) {
 		ex := StreamExport{Stream: s}
 		switch {
 		case i == p.abortedStream && p.state != stReconfig:
-			// Mid-block abort (streaming/draining/flushing): the standby must
-			// replay from the block-start engine snapshot so the regenerated
-			// outputs match the ones the consumer already received.
+			// Mid-block abort (streaming/draining/flushing/checkpointing):
+			// the standby must replay from the engine snapshot at the replay
+			// window's start — block start, or the last committed checkpoint
+			// — so the regenerated outputs match the ones the consumer
+			// already received.
 			ex.Engines = cloneState(p.retryState)
 			ex.Replay = append([]sim.Word(nil), p.blockBuf...)
 			ex.Committed = p.exitCount
+			ex.ReplayStart = p.blockBase
 		case i == p.abortedStream:
 			// Aborted during reconfiguration: the engines were never swapped
 			// in and no word entered the chain, so the stream's standing
@@ -111,6 +127,7 @@ func (p *Pair) ExportStreams() ([]StreamExport, error) {
 			ex.Engines = p.standingState(i, s)
 			ex.Replay = append([]sim.Word(nil), p.blockBuf...)
 			ex.Committed = p.resumeCommitted
+			ex.ReplayStart = p.blockBase
 		default:
 			ex.Engines = p.standingState(i, s)
 		}
@@ -171,6 +188,7 @@ func (p *Pair) ImportStream(e StreamExport) (int, error) {
 	}
 	s.pendingReplay = e.Replay
 	s.pendingCommitted = e.Committed
+	s.pendingReplayStart = e.ReplayStart
 	return len(p.streams) - 1, nil
 }
 

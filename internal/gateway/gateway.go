@@ -16,6 +16,35 @@
 // The exit gateway converts the hardware flow-controlled stream back to a
 // software C-FIFO at δ cycles per sample and notifies the entry gateway
 // when the last sample of the block has passed — the pipeline-idle signal.
+//
+// # Recovery ladder
+//
+// The pair is also the bottom of the platform's recovery ladder. A drain
+// watchdog (Config.DrainTimeout, derived from Eq. 2's "+2"·c0 flush
+// allowance) detects a block that stops making progress; Recovery.Enabled
+// then aborts it — flush the chain, restore the engines' pre-block state,
+// re-issue the block — up to RetryLimit times before the stream is
+// quarantined (removed from arbitration so the survivors' Eq. 3
+// interference bound shrinks instead of breaking). FreezeForFailover /
+// ExportStreams / ImportStream hand a frozen pair's per-stream state to a
+// standby pair on the same ring (see internal/mpsoc's FailoverController).
+//
+// With Recovery.Checkpoint = K the retry unit shrinks from the block to a
+// K-input-sample sub-block: at every interior multiple of K (rounded up to
+// the chain's decimation) the entry gateway quiesces the pipeline, pays
+// Recovery.CheckpointCost on the configuration bus to snapshot the engine
+// state, and advances the restart point — so a retry or a migrated
+// in-flight block replays at most K words (core.ResumeBound) and the
+// per-block bound becomes the adjusted Eq. 2 term
+//
+//	τ̂s(K) = Rs + (ηs + 2·⌈ηs/K⌉)·c0 + (⌈ηs/K⌉−1)·Csave
+//
+// (core.TauHatCheckpointed). Recovery.ValueExact additionally stages exit
+// words until the enclosing sub-block commits, so a retried or migrated
+// block is bit-identical downstream to a fault-free run — partial first
+// attempts can never leak corrupted values. BlockRecord.Replayed measures
+// the actual replay work per block; internal/conformance checks it against
+// retries·K (Options.ReplayBound).
 package gateway
 
 import (
@@ -134,6 +163,32 @@ type Recovery struct {
 	FlushDelay sim.Time
 	// OnQuarantine is called once per quarantined stream.
 	OnQuarantine func(stream int)
+	// Checkpoint is the checkpoint interval K in input samples: every K
+	// samples the entry gateway quiesces the sub-block (stops issuing and
+	// waits for the exit side to deliver every output of the samples issued
+	// so far), snapshots the engines' state over the configuration bus and
+	// records the exit-side commit watermark. A retry — and a
+	// failover-migrated in-flight block — then resumes from the last
+	// checkpoint instead of block start, bounding replay work to O(K)
+	// (core.ResumeBound) where full-block replay is O(ηs). The quiesce and
+	// snapshot stretch the clean-run service latency to τ̂s(K)
+	// (core.TauHatCheckpointed). K is rounded up per stream to a multiple of
+	// its decimation so every boundary maps to an exact output position.
+	// 0 disables checkpointing (historical whole-block replay); the interval
+	// is only honoured when Enabled is set (the snapshot rides the recovery
+	// machinery).
+	Checkpoint int64
+	// CheckpointCost is the configuration-bus cost of one checkpoint
+	// snapshot, charged like a reconfiguration (and, like Rs, counting as
+	// watchdog progress while the bus is busy).
+	CheckpointCost sim.Time
+	// ValueExact holds exit-side output in a staging buffer until the block
+	// completes or a checkpoint commits it, instead of committing each word
+	// to the output C-FIFO as it drains. A retried or migrated block is then
+	// bit-identical downstream to a fault-free run — not only count- and
+	// timing-identical — because a first attempt's partial output is rolled
+	// back on abort rather than leaking values the replay cannot reproduce.
+	ValueExact bool
 }
 
 // ActivityKind labels one span of gateway activity.
@@ -151,6 +206,9 @@ const (
 	// failover (freeze → settle → migrate → resume); recorded with
 	// Stream = -1 since it is not attributable to one stream.
 	ActFailover
+	// ActCheckpoint is a mid-block checkpoint span: stage drain, engine
+	// snapshot over the configuration bus, watermark record.
+	ActCheckpoint
 )
 
 func (k ActivityKind) String() string {
@@ -165,6 +223,8 @@ func (k ActivityKind) String() string {
 		return "flush"
 	case ActFailover:
 		return "failover"
+	case ActCheckpoint:
+		return "checkpoint"
 	}
 	return "?"
 }
@@ -202,8 +262,13 @@ type Stream struct {
 	// already received (pendingCommitted). The next beginBlock replays the
 	// words and discards the already-committed outputs at the exit gateway,
 	// so the consumer sees every block position exactly once.
-	pendingReplay    []sim.Word
-	pendingCommitted int64
+	// pendingReplayStart is the absolute input position the replay begins at
+	// — 0 for a block-start replay, the last checkpoint boundary when the
+	// failed chain was checkpointing — so samples the checkpoint already
+	// covers are neither replayed nor regenerated.
+	pendingReplay      []sim.Word
+	pendingCommitted   int64
+	pendingReplayStart int64
 
 	// Stats.
 	Blocks        uint64
@@ -245,6 +310,11 @@ type BlockRecord struct {
 	Started sim.Time
 	Done    sim.Time
 	Retries int
+	// Replayed counts the input words re-issued beyond the block's first
+	// pass — the measured replay work its retries cost. Bounded by
+	// Retries × ηs without checkpointing, by Retries × K with a checkpoint
+	// interval K (conformance.Options.ReplayBound checks exactly this).
+	Replayed int64
 }
 
 type entryState int
@@ -257,6 +327,10 @@ const (
 	// stFlushing: a stall was detected and the in-flight block aborted; the
 	// pair waits out the flush settle delay before clearing the chain.
 	stFlushing
+	// stCheckpoint: the sub-block quiesced (entry stopped at the boundary,
+	// exit delivered every output); the pair is committing the stage and
+	// snapshotting engine state over the configuration bus.
+	stCheckpoint
 )
 
 // Pair is one entry/exit gateway pair managing a chain of accelerator
@@ -298,6 +372,27 @@ type Pair struct {
 	exitDiscard  int64
 	blockQueued  sim.Time
 	blockStarted sim.Time
+
+	// Checkpoint state. blockBase is the absolute input position the current
+	// replay window starts at: 0 at block start, advanced to each committed
+	// checkpoint boundary (blockBuf, fetched and sent are all relative to
+	// it, and retryState holds the engines' snapshot AT blockBase). ckptEvery
+	// is the active block's checkpoint interval, already rounded to the
+	// stream's decimation; ckptNext is the next quiesce boundary (== Block
+	// when no checkpoint remains). exitDelivered counts absolute output
+	// positions the exit side has handled this attempt — committed, staged
+	// or discarded — so the quiesce "sub-block fully drained" test works
+	// even while a replay is still swallowing discards. stage holds
+	// value-exact output words received but not yet committed to the output
+	// C-FIFO; blockIssued and blockFresh measure replay work (Replayed =
+	// blockIssued − blockFresh at completion).
+	blockBase     int64
+	ckptEvery     int64
+	ckptNext      int64
+	exitDelivered int64
+	stage         []sim.Word
+	blockIssued   int64
+	blockFresh    int64
 
 	// Failover state. failed marks a pair retired by FreezeForFailover
 	// (terminal: both state machines become no-ops); abortedStream is the
@@ -354,6 +449,12 @@ type Pair struct {
 	Quarantines uint64
 	IdleDropped uint64
 	LateIdles   uint64
+
+	// Checkpoints counts committed mid-block checkpoints; CheckpointCycles
+	// accounts their configuration-bus snapshot time (kept apart from
+	// ReconfigCycles, which is per-block context switching).
+	Checkpoints      uint64
+	CheckpointCycles uint64
 }
 
 // NewPair wires a gateway pair around existing accelerator tiles. The
@@ -431,7 +532,7 @@ func (p *Pair) ready(i int) bool {
 	if s.Quarantined || s.Suspended {
 		return false
 	}
-	need := int(s.Block) - len(s.pendingReplay)
+	need := int(s.Block-s.pendingReplayStart) - len(s.pendingReplay)
 	if need < 0 {
 		need = 0
 	}
@@ -515,14 +616,36 @@ func (p *Pair) beginBlock(i int) {
 	p.fetched = 0
 	p.exitDiscard = 0
 	p.resumeCommitted = 0
-	if len(s.pendingReplay) > 0 || s.pendingCommitted > 0 {
+	p.blockBase = 0
+	p.stage = p.stage[:0]
+	if len(s.pendingReplay) > 0 || s.pendingCommitted > 0 || s.pendingReplayStart > 0 {
 		// Migrated in-flight block: replay the words its aborted attempt
-		// consumed on the failed chain; the output words the consumer
-		// already received are regenerated and discarded at the exit.
+		// consumed on the failed chain, starting at the failed chain's last
+		// checkpoint (block start when it was not checkpointing); output
+		// words the consumer already received beyond that point are
+		// regenerated and discarded at the exit.
 		p.blockBuf = append(p.blockBuf, s.pendingReplay...)
 		p.resumeCommitted = s.pendingCommitted
+		p.blockBase = s.pendingReplayStart
 		s.pendingReplay = nil
 		s.pendingCommitted = 0
+		s.pendingReplayStart = 0
+	}
+	p.blockIssued = 0
+	// Fresh work excludes a migrated block's seeded replay residue: those
+	// words were already issued once on the failed chain, so re-issuing them
+	// here is replay, not first-pass work.
+	p.blockFresh = s.Block - p.blockBase - int64(len(p.blockBuf))
+	p.ckptEvery = 0
+	if p.cfg.Recovery.Enabled && p.cfg.Recovery.Checkpoint > 0 {
+		// Round K up to the stream's decimation so every boundary maps to an
+		// exact output position (the quiesce test needs it).
+		k := p.cfg.Recovery.Checkpoint
+		d := s.Block / s.OutBlock
+		if r := k % d; r != 0 {
+			k += d - r
+		}
+		p.ckptEvery = k
 	}
 	p.blockStarted = p.k.Now()
 	if s.queued {
@@ -568,11 +691,16 @@ func (p *Pair) beginBlock(i int) {
 		p.recordActivity(ActReconfig)
 		// Configure the exit gateway for the new block (its own port on the
 		// configuration bus, per Fig. 4b). A migrated block resumes with
-		// its already-committed output words pre-counted and marked for
-		// discard (see Stream.pendingReplay).
+		// its already-committed output words pre-counted; the ones the
+		// replay will regenerate — positions past the resume point — are
+		// marked for discard (see Stream.pendingReplay). A checkpointed
+		// resume regenerates nothing before its watermark, so its discard
+		// count is zero by construction.
 		p.exitCount = p.resumeCommitted
-		p.exitDiscard = p.resumeCommitted
+		p.exitDelivered = p.blockBase / (s.Block / s.OutBlock)
+		p.exitDiscard = p.resumeCommitted - p.exitDelivered
 		p.resumeCommitted = 0
+		p.ckptNext = p.nextCkptBoundary(s)
 		p.state = stStreaming
 		p.sent = 0
 		p.lastStreamStart = p.k.Now()
@@ -623,7 +751,10 @@ func (p *Pair) pump() {
 		return
 	}
 	s := p.streams[p.active]
-	if p.sent >= s.Block {
+	if p.blockBase+p.sent >= p.ckptNext {
+		// Sub-block issued in full (ckptNext == Block when not
+		// checkpointing): wait for the exit side to drain it — the quiesce
+		// that makes the checkpoint snapshot consistent.
 		return
 	}
 	var w sim.Word
@@ -663,13 +794,32 @@ func (p *Pair) pump() {
 func (p *Pair) afterSample() {
 	s := p.streams[p.active]
 	s.SamplesIn++
-	if p.sent >= s.Block {
+	p.blockIssued++
+	if p.blockBase+p.sent >= s.Block {
 		s.In.Ack() // release any batched input space promptly
 		p.recordActivity(ActStream)
 		p.state = stDraining
 		return
 	}
+	if p.blockBase+p.sent >= p.ckptNext {
+		s.In.Ack() // progressive input-space release at the boundary
+		return     // quiesce: the exit side triggers the checkpoint once drained
+	}
 	p.pump()
+}
+
+// nextCkptBoundary returns the absolute input position of the next
+// checkpoint quiesce after blockBase — the block end when checkpointing is
+// off or no interior boundary remains.
+func (p *Pair) nextCkptBoundary(s *Stream) int64 {
+	if p.ckptEvery <= 0 {
+		return s.Block
+	}
+	n := (p.blockBase/p.ckptEvery + 1) * p.ckptEvery
+	if n >= s.Block {
+		return s.Block
+	}
+	return n
 }
 
 // wdSnap is the watchdog's progress fingerprint: while a block is in
@@ -681,10 +831,17 @@ type wdSnap struct {
 	fetched     int
 	exitCount   int64
 	exitDiscard int64
+	// Checkpoint progress: the quiesce wait advances exitDelivered (not
+	// exitCount while discards drain), a checkpoint commit advances
+	// blockBase, and a stage drain shrinks staged.
+	delivered int64
+	base      int64
+	staged    int
 }
 
 func (p *Pair) snapshot() wdSnap {
-	return wdSnap{p.blockEpoch, p.state, p.sent, p.fetched, p.exitCount, p.exitDiscard}
+	return wdSnap{p.blockEpoch, p.state, p.sent, p.fetched, p.exitCount, p.exitDiscard,
+		p.exitDelivered, p.blockBase, len(p.stage)}
 }
 
 // armWatchdog starts the progress-based stall detector for the current
@@ -706,9 +863,11 @@ func (p *Pair) watchdogCheck(snap wdSnap) {
 		return // block completed, or a flush is already under way
 	}
 	cur := p.snapshot()
-	if cur != snap || (p.state == stReconfig && p.bus.BusyUntil() > p.k.Now()) {
+	busPhase := p.state == stReconfig || p.state == stCheckpoint
+	if cur != snap || (busPhase && p.bus.BusyUntil() > p.k.Now()) {
 		// Progress since the last check (an occupied configuration bus
-		// counts: Rs may legitimately exceed the window): re-arm.
+		// counts: Rs — or a checkpoint snapshot — may legitimately exceed
+		// the window): re-arm.
 		p.k.Schedule(p.cfg.DrainTimeout, func() { p.watchdogCheck(cur) })
 		return
 	}
@@ -793,14 +952,20 @@ func (p *Pair) completeFlush() {
 	p.retryBlock()
 }
 
-// retryBlock re-issues the aborted block: reload the engines' block-start
-// snapshot over the configuration bus (abort-and-reconfigure, charged like
-// a context switch), then replay the locally buffered input words. Output
+// retryBlock re-issues the aborted block: reload the engines' snapshot at
+// the replay window's start — block start, or the last committed checkpoint
+// — over the configuration bus (abort-and-reconfigure, charged like a
+// context switch), then replay the locally buffered input words. Output
 // words that were already committed to the output C-FIFO before the abort
 // are regenerated by the replay and discarded at the exit gateway, so the
-// consumer sees each block position once.
+// consumer sees each block position once; value-exact staged words were
+// never committed, so they are rolled back and regenerated for real.
 func (p *Pair) retryBlock() {
 	s := p.streams[p.active]
+	if n := int64(len(p.stage)); n > 0 {
+		p.exitCount -= n
+		p.stage = p.stage[:0]
+	}
 	p.state = stReconfig
 	var cost sim.Time
 	switch p.cfg.Mode {
@@ -829,7 +994,8 @@ func (p *Pair) retryBlock() {
 		p.state = stStreaming
 		p.sent = 0
 		p.fetched = 0
-		p.exitDiscard = p.exitCount
+		p.exitDelivered = p.blockBase / (s.Block / s.OutBlock)
+		p.exitDiscard = p.exitCount - p.exitDelivered
 		p.lastStreamStart = p.k.Now()
 		p.armWatchdog()
 		p.pump()
@@ -850,6 +1016,8 @@ func (p *Pair) quarantine() {
 	p.Quarantines++
 	p.blockBuf = p.blockBuf[:0]
 	p.fetched = 0
+	p.stage = p.stage[:0] // staged words belong to the discarded block
+	p.blockBase = 0
 	p.state = stIdle
 	if p.cfg.Recovery.OnQuarantine != nil {
 		p.cfg.Recovery.OnQuarantine(p.active)
@@ -910,6 +1078,15 @@ func (p *Pair) exitRun() {
 			return
 		}
 		s := p.streams[p.active]
+		if p.cfg.Recovery.ValueExact {
+			// Hold the word in the staging buffer; it reaches the output
+			// C-FIFO only when the block completes or a checkpoint commits
+			// it, so an abort can roll it back instead of leaking a partial
+			// first attempt downstream.
+			p.stage = append(p.stage, w)
+			p.afterExitWord(true)
+			return
+		}
 		if !s.Out.TryWrite(w) {
 			// The space check reserved room, but the ring injection buffer
 			// can still be momentarily busy.
@@ -929,19 +1106,111 @@ func (p *Pair) exitRun() {
 // paths keeps the completion edge firing exactly once per attempt.
 func (p *Pair) afterExitWord(committed bool) {
 	s := p.streams[p.active]
+	p.exitDelivered++
 	if committed {
-		s.SamplesOut++
-		if p.cfg.RecordOutputTimes {
-			s.OutTimes = append(s.OutTimes, p.k.Now())
+		if p.cfg.Recovery.ValueExact {
+			// Staged, not yet in the output C-FIFO: count it toward block
+			// completion now, account SamplesOut/OutTimes at the actual
+			// commit (drainStage).
+			p.exitCount++
+		} else {
+			s.SamplesOut++
+			if p.cfg.RecordOutputTimes {
+				s.OutTimes = append(s.OutTimes, p.k.Now())
+			}
+			p.exitCount++
 		}
-		p.exitCount++
 	}
 	if p.exitCount >= s.OutBlock && p.exitDiscard == 0 {
-		// Last sample of the block passed through: notify the entry gateway
-		// over the ring.
-		p.sendIdle(p.active)
+		// Last sample of the block passed through: commit any staged words,
+		// then notify the entry gateway over the ring.
+		p.drainStage(func() { p.sendIdle(p.active) })
+	} else if p.checkpointDue(s) {
+		p.beginCheckpoint(s)
 	}
 	p.exitStep.Wake()
+}
+
+// checkpointDue reports whether the active block just quiesced at an
+// interior checkpoint boundary: the entry gateway stopped at ckptNext and
+// the exit side has now delivered every output of the samples issued — the
+// point where a SaveState snapshot is consistent with exactly ckptNext
+// processed inputs.
+func (p *Pair) checkpointDue(s *Stream) bool {
+	if p.ckptEvery <= 0 || p.state != stStreaming || p.ckptNext >= s.Block {
+		return false
+	}
+	if p.blockBase+p.sent != p.ckptNext {
+		return false
+	}
+	return p.exitDelivered == p.ckptNext/(s.Block/s.OutBlock)
+}
+
+// beginCheckpoint commits the quiesced sub-block: drain the stage (its
+// words are final — a later retry never resumes before this boundary),
+// snapshot the engines' state over the configuration bus, and advance the
+// replay window. Bound to the block epoch, so a stall racing the snapshot
+// aborts it and the retry falls back to the previous checkpoint.
+func (p *Pair) beginCheckpoint(s *Stream) {
+	p.state = stCheckpoint
+	p.recordActivity(ActStream) // close the streaming span
+	epoch := p.blockEpoch
+	p.drainStage(func() {
+		cost := p.cfg.Recovery.CheckpointCost
+		p.CheckpointCycles += uint64(cost)
+		p.bus.TransferCycles(cost, func() {
+			if p.failed || p.blockEpoch != epoch {
+				return
+			}
+			p.retryState = p.retryState[:0]
+			for _, e := range s.Engines {
+				p.retryState = append(p.retryState, e.SaveState())
+			}
+			p.blockBase = p.ckptNext
+			p.blockBuf = p.blockBuf[:0]
+			p.fetched = 0
+			p.sent = 0
+			p.ckptNext = p.nextCkptBoundary(s)
+			p.Checkpoints++
+			p.recordActivity(ActCheckpoint)
+			p.state = stStreaming
+			p.pump()
+		})
+	})
+}
+
+// drainStage commits the staged output words of the active block to its
+// output C-FIFO, then runs done (immediately when nothing is staged). The
+// space check reserved the room at block start, so only transient
+// ring-injection backpressure can delay a write. Bound to the block epoch:
+// an abort discards the remaining stage instead (retryBlock and quarantine
+// roll the watermark back).
+func (p *Pair) drainStage(done func()) {
+	if len(p.stage) == 0 {
+		done()
+		return
+	}
+	s := p.streams[p.active]
+	epoch := p.blockEpoch
+	var step func()
+	step = func() {
+		if p.blockEpoch != epoch || p.failed {
+			return
+		}
+		for len(p.stage) > 0 {
+			if !s.Out.TryWrite(p.stage[0]) {
+				p.k.Schedule(2, step)
+				return
+			}
+			p.stage = p.stage[1:]
+			s.SamplesOut++
+			if p.cfg.RecordOutputTimes {
+				s.OutTimes = append(s.OutTimes, p.k.Now())
+			}
+		}
+		done()
+	}
+	step()
 }
 
 // sendIdle originates one pipeline-idle notification; the DropIdle fault
@@ -991,6 +1260,7 @@ func (p *Pair) onPipelineIdle(streamIdx int) {
 	if p.cfg.RecordTurnarounds {
 		s.Turnarounds = append(s.Turnarounds, BlockRecord{
 			Queued: p.blockQueued, Started: p.blockStarted, Done: p.k.Now(), Retries: p.blockRetries,
+			Replayed: p.blockIssued - p.blockFresh,
 		})
 	}
 	p.blockEpoch++ // completed: cancel this block's pending timers/events

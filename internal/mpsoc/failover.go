@@ -59,6 +59,15 @@ type FailoverConfig struct {
 	StandbyChain *core.Chain
 	// WarmRounds budgets the warm-started re-solve (0 = default 64).
 	WarmRounds int
+	// Checkpoint and CheckpointCost mirror the primary's
+	// gateway.Recovery.Checkpoint / CheckpointCost. When Checkpoint > 0 the
+	// cost bound uses the adjusted Eq. 2 term τ̂s(K)
+	// (core.TauHatCheckpointed) instead of the plain τ̂s: checkpoint
+	// quiesces stretch each clean block, so the settle clamp and the
+	// failover bound must absorb them, while the migrated block's replay
+	// residue shrinks from O(ηs) to O(K).
+	Checkpoint     int64
+	CheckpointCost sim.Time
 	// OnComplete observes the finished failover.
 	OnComplete func(Record)
 }
@@ -207,7 +216,7 @@ func (fc *FailoverController) refreshModel(snaps []gateway.StreamSnapshot) uint6
 		if sn.Quarantined || sn.Suspended {
 			continue
 		}
-		if tau, err := fc.cfg.Model.TauHat(i); err == nil && tau > maxTau {
+		if tau, err := fc.cfg.Model.TauHatCheckpointed(i, fc.cfg.Checkpoint, uint64(fc.cfg.CheckpointCost)); err == nil && tau > maxTau {
 			maxTau = tau
 		}
 	}
@@ -260,16 +269,18 @@ func (fc *FailoverController) migrate(reason string, triggeredAt, settle sim.Tim
 			solved, rerr := fc.resolve(exports, decims)
 			if rerr == nil {
 				// A slot whose aborted block must replay cannot shrink below
-				// its residue: the standby seeds the new block with the
-				// replay words, so a smaller ηs would silently drop the
-				// tail, and an OutBlock below the committed count would end
-				// the block before the consumer's position. Growth is fine —
-				// the replay fills the front of the larger block and fresh
-				// words complete it.
+				// its resume point plus residue: the standby resumes the new
+				// block at ReplayStart (the last committed checkpoint, 0
+				// without checkpointing) and seeds it with the replay words,
+				// so a smaller ηs would silently drop the tail, and an
+				// OutBlock below the committed count would end the block
+				// before the consumer's position. Growth is fine — the
+				// replay fills in from the resume point and fresh words
+				// complete the larger block.
 				for i, e := range exports {
-					if solved[i] < int64(len(e.Replay)) || solved[i]/decims[i] < e.Committed {
-						rerr = fmt.Errorf("re-solved eta for %q (%d) below its replay residue (%d words, %d committed)",
-							e.Stream.Name, solved[i], len(e.Replay), e.Committed)
+					if solved[i] < e.ReplayStart+int64(len(e.Replay)) || solved[i]/decims[i] < e.Committed {
+						rerr = fmt.Errorf("re-solved eta for %q (%d) below its resume point %d + replay residue (%d words, %d committed)",
+							e.Stream.Name, solved[i], e.ReplayStart, len(e.Replay), e.Committed)
 						break
 					}
 				}

@@ -19,6 +19,13 @@ import (
 // standby pair, sources feeding every stream and sinks collecting outputs so
 // tests can verify sample-exact continuity across a migration.
 func failoverPlatform(t *testing.T, plan *fault.Plan, nStreams int, periods []int64, standbyCost sim.Time) (*MultiSystem, *core.System) {
+	return failoverPlatformRec(t, plan, nStreams, periods, standbyCost,
+		gateway.Recovery{Enabled: true, RetryLimit: 2})
+}
+
+// failoverPlatformRec is failoverPlatform with an explicit recovery config
+// (both chains), for the checkpointed variants.
+func failoverPlatformRec(t *testing.T, plan *fault.Plan, nStreams int, periods []int64, standbyCost sim.Time, rec gateway.Recovery) (*MultiSystem, *core.System) {
 	t.Helper()
 	var specs []StreamSpec
 	model := &core.System{
@@ -50,14 +57,14 @@ func failoverPlatform(t *testing.T, plan *fault.Plan, nStreams int, periods []in
 				Name: "primary", EntryCost: 15, ExitCost: 1, Mode: gateway.ReconfigFixed,
 				Accels:  []AccelSpec{{Name: "acc", Cost: 1, NICapacity: 2}},
 				Streams: specs, DrainTimeout: 600,
-				Recovery: gateway.Recovery{Enabled: true, RetryLimit: 2},
+				Recovery: rec,
 				Faults:   plan, RecordTurnarounds: true,
 			},
 			{
 				Name: "standby", EntryCost: 15, ExitCost: 1, Mode: gateway.ReconfigFixed,
 				Accels:  []AccelSpec{{Name: "acc-b", Cost: standbyCost, NICapacity: 2}},
 				Standby: true, DrainTimeout: 600,
-				Recovery:          gateway.Recovery{Enabled: true, RetryLimit: 2},
+				Recovery:          rec,
 				RecordTurnarounds: true,
 			},
 		},
@@ -83,7 +90,9 @@ func checkContiguous(t *testing.T, ch *Chain) {
 
 // failoverConformance checks the post-migration trace of every live stream
 // against the ACTIVE chain's bounds (standby cost, post-failover blocks).
-func failoverConformance(t *testing.T, model *core.System, ch *Chain, standbyCost uint64, after sim.Time, minBlocks int) {
+// When the chains checkpoint, k/ckCost select the adjusted Eq. 2 bounds and
+// the replay check enforces retry work ≤ k per retry.
+func failoverConformance(t *testing.T, model *core.System, ch *Chain, standbyCost uint64, after sim.Time, minBlocks int, k int64, ckCost uint64) {
 	t.Helper()
 	snaps := ch.Pair.Snapshot()
 	live := &core.System{
@@ -105,12 +114,12 @@ func failoverConformance(t *testing.T, model *core.System, ch *Chain, standbyCos
 		}
 		streams = append(streams, ch.Strs[i].GW)
 	}
-	bounds, err := conformance.FromModel(live)
+	bounds, err := conformance.FromModelCheckpointed(live, k, ckCost)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res := conformance.FromStreams(bounds, streams, conformance.Options{
-		After: after, SkipRetried: true, MinBlocks: minBlocks,
+		After: after, SkipRetried: true, MinBlocks: minBlocks, ReplayBound: k,
 	})
 	if err := res.Err(); err != nil {
 		t.Error(err)
@@ -177,7 +186,61 @@ func TestChainFailover(t *testing.T) {
 	checkContiguous(t, ms.Chains[1])
 	// One backlog-drain margin past the resume (the freeze+settle queue the
 	// sources kept filling), then the single-token bounds must hold again.
-	failoverConformance(t, model, ms.Chains[1], 1, rec.ResumedAt+8_000, 20)
+	failoverConformance(t, model, ms.Chains[1], 1, rec.ResumedAt+8_000, 20, 0, 0)
+}
+
+// TestChainFailoverCheckpointed: the same wedge-convict-migrate sequence on
+// a checkpointing chain. The migrated residue is the words since the last
+// committed checkpoint — bounded by K, not by η — the failover bound uses
+// the adjusted Eq. 2 term τ̂(K), and the post-migration trace must conform
+// to the adjusted bounds with replay work ≤ K per retry.
+func TestChainFailoverCheckpointed(t *testing.T) {
+	const K = 4
+	plan := &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.WedgeLink, Site: 0, At: 5_000},
+	}}
+	rec := gateway.Recovery{
+		Enabled: true, RetryLimit: 2,
+		Checkpoint: K, CheckpointCost: 5, ValueExact: true,
+	}
+	ms, model := failoverPlatformRec(t, plan, 3, []int64{75, 75, 75}, 1, rec)
+	fc, err := NewFailover(ms, FailoverConfig{
+		Primary: 0, Standby: 1, Model: model, PerSlotCost: 10,
+		Checkpoint: K, CheckpointCost: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Arm(fault.DoctorConfig{Window: 4_000, StallLimit: 3, DistinctStreams: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ms.Run(120_000)
+
+	frec := fc.Record()
+	if frec == nil {
+		t.Fatal("failover never completed")
+	}
+	if frec.MeasuredCycles > frec.BoundCycles {
+		t.Fatalf("failover cost %d cycles exceeds bound %d", frec.MeasuredCycles, frec.BoundCycles)
+	}
+	// τ̂(K=4) for η=16: 50 + (16 + 2·4)·15 + 3·5 = 425; + 3 slots × 10 bus.
+	if frec.BoundCycles != 455 {
+		t.Errorf("bound = %d, want 455 = adjusted τ̂ 425 + 3×10", frec.BoundCycles)
+	}
+	// The whole point: the in-flight residue is a sub-block, not the block.
+	if frec.ReplayWords > K {
+		t.Fatalf("migrated %d replay words, checkpointing bounds the residue by K=%d", frec.ReplayWords, K)
+	}
+	if got := len(ms.Chains[1].Strs); got != 3 {
+		t.Fatalf("standby carries %d streams, want 3", got)
+	}
+	for _, st := range ms.Chains[1].Strs {
+		if st.Overflows != 0 {
+			t.Errorf("%s overflowed %d samples", st.Spec.Name, st.Overflows)
+		}
+	}
+	checkContiguous(t, ms.Chains[1])
+	failoverConformance(t, model, ms.Chains[1], 1, frec.ResumedAt+8_000, 20, K, 5)
 }
 
 // TestFailoverTraceSpan: both pairs record the controller-level span and the
@@ -275,7 +338,7 @@ func TestFailoverSweep(t *testing.T) {
 				}
 			}
 			checkContiguous(t, ms.Chains[1])
-			failoverConformance(t, model, ms.Chains[1], 1, rec.ResumedAt+8_000, 10)
+			failoverConformance(t, model, ms.Chains[1], 1, rec.ResumedAt+8_000, 10, 0, 0)
 		})
 	}
 }

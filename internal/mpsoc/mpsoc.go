@@ -4,6 +4,19 @@
 // (the radio front-end), sink tasks (audio output), and measurement of the
 // quantities the evaluation section reports: throughput, block turnaround
 // versus the γs bound, gateway duty cycle and accelerator utilisation.
+//
+// It is also where the recovery ladder becomes a platform property.
+// Config.Recovery/DrainTimeout wire per-stream watchdog retry, checkpointed
+// resume and quarantine into every assembled chain, and BuildMulti +
+// FailoverController (failover.go) add the top rung: a fault doctor's
+// wedged-chain verdict freezes the sick gateway pair, exports every
+// stream's state — including the ≤ K-word replay residue and committed
+// output watermark of a checkpointed in-flight block — re-points the
+// C-FIFOs and resumes on a standby pair. The measured freeze→resume cost is
+// checked against the bound max τ̂s + slots·bus-cost, where τ̂s is the
+// adjusted Eq. 2 term τ̂s(K) when FailoverConfig.Checkpoint is set, and the
+// survivor re-solve (Algorithm 1, warm-started) must never shrink a block
+// below its migrated residue's resume point.
 package mpsoc
 
 import (
