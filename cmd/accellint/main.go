@@ -1,0 +1,130 @@
+// Command accellint is the repository's invariant linter: a multichecker
+// over the internal/analysis suite (determinism, boundcheck, deepcopy,
+// pkgdoc). It loads and type-checks the module's non-test packages with no
+// external dependencies and prints one line per finding:
+//
+//	path/file.go:line:col: message (analyzer)
+//
+// Usage:
+//
+//	go run ./cmd/accellint ./...
+//	go run ./cmd/accellint ./internal/admission ./internal/mpsoc
+//
+// Exit status is 0 when clean, 1 when any analyzer reported a finding, and
+// 2 on usage or load errors. CI runs it over ./... in place of the old
+// shell/awk doc-comment lint.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accelshare/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: accellint ./... | accellint <package dirs>")
+		os.Exit(2)
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := analysis.LoadTree(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
+		os.Exit(2)
+	}
+	keep, err := filterPackages(root, pkgs, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(fset, keep, analysis.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "accellint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages selects the loaded packages matching the command-line
+// patterns: "./..." (everything), "./dir/..." (subtree), or "./dir".
+// Patterns are interpreted relative to the working directory.
+func filterPackages(root string, pkgs []*analysis.Package, patterns []string) ([]*analysis.Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var keep []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." {
+				pat = "./"
+			}
+		} else if pat == "..." {
+			rec, pat = true, "./"
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, p := range pkgs {
+			ok := p.Dir == abs
+			if rec {
+				rel, err := filepath.Rel(abs, p.Dir)
+				ok = err == nil && !strings.HasPrefix(rel, "..")
+			}
+			if ok {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					keep = append(keep, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return keep, nil
+}

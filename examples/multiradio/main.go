@@ -54,7 +54,10 @@ func main() {
 	}
 	fmt.Println("two applications share one CORDIC + FIR chain:")
 	for i, st := range model.Streams {
-		gamma, _ := model.GammaHat(i)
+		gamma, err := model.GammaHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-7s rate %.4g S/s, block η = %d, γ̂ = %d cycles (%.0f µs)\n",
 			st.Name, float64(st.Rate.Num().Int64()), res.Blocks[i], gamma, float64(gamma)/100)
 	}
@@ -125,7 +128,10 @@ func main() {
 	rep := sys.Report()
 	fmt.Println("\nsimulated hardware:")
 	for i, sr := range rep.PerStream {
-		gamma, _ := model.GammaHat(i)
+		gamma, err := model.GammaHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		status := "isolated (within γ̂)"
 		if sr.MaxTurnaround > gamma {
 			status = "INTERFERENCE BOUND VIOLATED"

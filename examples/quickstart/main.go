@@ -68,9 +68,18 @@ func main() {
 	// Step 4: worst-case bounds per stream.
 	fmt.Println("\nworst-case bounds:")
 	for i, st := range sys.Streams {
-		tau, _ := sys.TauHat(i)
-		eps, _ := sys.EpsilonHat(i)
-		gamma, _ := sys.GammaHat(i)
+		tau, err := sys.TauHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps, err := sys.EpsilonHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gamma, err := sys.GammaHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-8s τ̂ = %d cycles, ε̂ = %d, γ̂ = %d (%.1f µs at 100 MHz)\n",
 			st.Name, tau, eps, gamma, float64(gamma)/100)
 	}
@@ -111,7 +120,10 @@ func main() {
 	rep := hw.Report()
 	fmt.Println("\nsimulated hardware vs model:")
 	for i, sr := range rep.PerStream {
-		gamma, _ := sys.GammaHat(i)
+		gamma, err := sys.GammaHat(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		status := "within bound"
 		if sr.MaxTurnaround > gamma {
 			status = "BOUND VIOLATED"

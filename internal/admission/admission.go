@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"accelshare/internal/accel"
 	"accelshare/internal/core"
@@ -974,7 +975,15 @@ func (c *Controller) Retarget(chain int, standbyChain *core.Chain) error {
 		}
 		newSlots[i] = slot
 	}
+	// Sorted iteration: with several parked streams missing, which one the
+	// error names must not depend on map order (the message reaches the
+	// campaign's deterministic output).
+	parkedNames := make([]string, 0, len(c.parked))
 	for name := range c.parked {
+		parkedNames = append(parkedNames, name)
+	}
+	sort.Strings(parkedNames)
+	for _, name := range parkedNames {
 		if _, ok := slotByName[name]; !ok {
 			return fmt.Errorf("admission: parked stream %q missing on chain %q", name, ch.Spec.Name)
 		}
@@ -982,8 +991,8 @@ func (c *Controller) Retarget(chain int, standbyChain *core.Chain) error {
 	for i := range c.model.Streams {
 		c.model.Streams[i].Block = snaps[newSlots[i]].Block
 	}
-	for name, p := range c.parked {
-		p.slot = slotByName[name]
+	for _, name := range parkedNames {
+		c.parked[name].slot = slotByName[name]
 	}
 	if standbyChain != nil {
 		c.model.Chain = *standbyChain

@@ -1,0 +1,144 @@
+// Package analysis is accellint: a static-analysis suite that turns the
+// repository's dynamic invariants into compile-time properties. Every
+// guarantee the reproduction makes — byte-deterministic campaigns, measured
+// cost ≤ τ̂s/γ̂s bounds (Eq. 2/4), race-free deep-copied state export during
+// failover — is otherwise enforced only by golden files, the conformance
+// harness and -race runs, which sample around violations instead of ruling
+// them out. The suite encodes four invariant families as analyzers:
+//
+//	determinism  no wall-clock (time.Now), no global math/rand, and no
+//	             unsorted map iteration in the packages whose output feeds
+//	             traces, golden files or campaign emitters
+//	boundcheck   every call to a core bound function (τ̂, τ̂(K), γ̂, resume
+//	             bound, ...) checks its error, and bound comparisons do not
+//	             smuggle signed values through unsigned conversions or
+//	             truncate cycle arithmetic with integer division
+//	deepcopy     functions marked //accellint:deepcopy (the failover and
+//	             snapshot export path) neither return receiver-reachable
+//	             slices/maps nor retain parameter-reachable ones
+//	pkgdoc       every package carries a package doc comment (the package
+//	             docs double as the design reference)
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) but is self-contained: the module has
+// no dependencies, so loading and type-checking are built on go/parser and
+// go/types with the stdlib source importer. cmd/accellint is the
+// multichecker binary; analysistest runs fixtures with // want comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. It mirrors the x/tools
+// go/analysis Analyzer surface that this suite needs: a name (printed with
+// each diagnostic and used by suppression directives), a doc string, and a
+// Run function over one type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass hands an Analyzer one type-checked package. Report appends to the
+// driver's diagnostic list; analyzers never print directly.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by position (filename, then offset) so output is deterministic —
+// the suite holds itself to the invariant it enforces.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// hasDirective reports whether a comment of the form "//accellint:<name>"
+// (optionally followed by a justification) sits on the same line as pos or
+// on the line immediately above it. Directives are the suite's escape
+// hatch: each use states in-source why the invariant holds anyway.
+func hasDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name string) bool {
+	want := "accellint:" + name
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if text == want || strings.HasPrefix(text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// docHasDirective reports whether a function's doc comment carries the
+// "//accellint:<name>" directive marking it for analysis.
+func docHasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "accellint:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

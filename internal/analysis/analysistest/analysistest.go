@@ -1,0 +1,110 @@
+// Package analysistest runs accellint analyzers over fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixtures live
+// under testdata/src/<importpath>/ and annotate expected findings with
+// trailing comments of the form
+//
+//	// want "regexp" "regexp2"
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched by exactly one diagnostic. Fixture packages may import sibling
+// fixture packages ("core", ...) and the stdlib; both resolve offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"accelshare/internal/analysis"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkgpath> beneath dir and applies the analyzers,
+// comparing diagnostics against // want comments.
+func Run(t *testing.T, dir, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	l := analysis.NewLoader()
+	if err := l.AddFixtureRoot(filepath.Join(dir, "src")); err != nil {
+		t.Fatalf("fixture root: %v", err)
+	}
+	pkg, err := l.Load(pkgpath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(l.Fset, []*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	wants, err := collectWants(l.Fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantRE matches one expectation pattern, either "double-quoted" (escapes
+// unquoted via strconv) or `backquoted` (taken raw), as in x/tools.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(fset *token.FileSet, pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[2]
+					if m[1] != "" || m[2] == "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestBoundCheckFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "bound", analysis.NewBoundCheck())
+}
+
+func TestBoundCheckExemptsDefiningPackage(t *testing.T) {
+	// The core stub truncates a bound internally (half); the defining
+	// package is exempt from the arithmetic rules, so the fixture carries
+	// no want comments and must produce no diagnostics.
+	analysistest.Run(t, "testdata", "core", analysis.NewBoundCheck())
+}

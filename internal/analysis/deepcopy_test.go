@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestDeepCopyFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "deepcopy", analysis.NewDeepCopy())
+}

@@ -1,0 +1,271 @@
+// Package loading for accellint. The module deliberately has no external
+// dependencies, so this is a minimal stand-in for go/packages: it walks a
+// module tree (or a GOPATH-style fixture root), parses each package's
+// non-test files, and type-checks them in dependency order with in-module
+// imports resolved from the same walk and everything else (the stdlib)
+// compiled from source by go/importer's "source" importer — which works
+// offline and needs no pre-built export data.
+//
+// Test files are intentionally excluded: the invariants accellint enforces
+// are about what ships in the campaign/replay path, and tests are free to
+// use wall-clock timeouts, random property sweeps and unordered iteration.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked, non-test package of the analyzed tree.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader resolves and type-checks packages. In-module (or in-fixture)
+// import paths registered by AddModule/AddFixtureRoot are loaded from
+// source on demand; all other paths fall through to the stdlib source
+// importer.
+type Loader struct {
+	Fset    *token.FileSet
+	dirs    map[string]string // import path → directory
+	loaded  map[string]*Package
+	loading map[string]bool // cycle detection
+	std     types.Importer
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		dirs:    map[string]string{},
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// AddModule registers every package under root, a module directory whose
+// go.mod declares modulePath. Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, as are directories without
+// buildable non-test Go files.
+func (l *Loader) AddModule(root, modulePath string) error {
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modulePath
+		if rel != "." {
+			ip = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = path
+		return nil
+	})
+}
+
+// AddFixtureRoot registers every package under a GOPATH-style src root:
+// the import path of srcRoot/a/b is "a/b". Used by analysistest.
+func (l *Loader) AddFixtureRoot(srcRoot string) error {
+	return filepath.Walk(srcRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() || path == srcRoot {
+			return nil
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		l.dirs[filepath.ToSlash(rel)] = path
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Paths returns every registered import path, sorted.
+func (l *Loader) Paths() []string {
+	out := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadAll loads every registered package, in sorted path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	for _, p := range l.Paths() {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks one registered package (and, recursively,
+// its registered dependencies).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("load %s: not a registered package", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load %s: import cycle", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %s: no buildable Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if _, ok := l.dirs[ip]; ok {
+				dep, err := l.Load(ip)
+				if err != nil {
+					return nil, err
+				}
+				return dep.Types, nil
+			}
+			return l.std.Import(ip)
+		}),
+		Error: func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("load %s: %v", path, terrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// moduleName reads the module path from root/go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// LoadTree is the driver entry point: register and load every package of
+// the module rooted at root.
+func LoadTree(root string) (*token.FileSet, []*Package, error) {
+	mod, err := moduleName(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := NewLoader()
+	if err := l.AddModule(root, mod); err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.Fset, pkgs, nil
+}

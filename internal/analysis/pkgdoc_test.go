@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestPkgDocFixtureGood(t *testing.T) {
+	analysistest.Run(t, "testdata", "pkgdoc/good", analysis.NewPkgDoc())
+}
+
+func TestPkgDocFixtureBad(t *testing.T) {
+	analysistest.Run(t, "testdata", "pkgdoc/bad", analysis.NewPkgDoc())
+}

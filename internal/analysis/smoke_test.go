@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo is the CI property in test form: the full analyzer
+// suite over every package of this module reports nothing. Any new
+// wall-clock read, unsorted map range, unchecked bound error or shallow
+// export added to the tree fails this test before it can skew a campaign.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	fset, pkgs, err := analysis.LoadTree("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags, err := analysis.Run(fset, pkgs, analysis.Suite())
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,15 @@
+// The default analyzer suite, as run by cmd/accellint and CI.
+
+package analysis
+
+// Suite returns every analyzer with its production configuration: the
+// determinism rule covers the output-feeding packages listed in
+// DeterminismCovered, and the other analyzers apply module-wide.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(nil),
+		NewBoundCheck(),
+		NewDeepCopy(),
+		NewPkgDoc(),
+	}
+}

@@ -1,0 +1,112 @@
+// Package deepcopy exercises the deepcopy analyzer: directive-marked
+// export functions must not return receiver-reachable slices/maps, and
+// marked import functions must not retain parameter-reachable ones.
+// Unmarked functions are never checked.
+package deepcopy
+
+type word uint64
+
+type stream struct {
+	name string
+	buf  []word
+	tags map[string]int
+}
+
+type pair struct {
+	streams []*stream
+	block   []word
+}
+
+type export struct {
+	name   string
+	replay []word
+	tags   map[string]int
+}
+
+// Block leaks the receiver's block buffer directly.
+//
+//accellint:deepcopy
+func (p *pair) Block() []word {
+	return p.block // want `return aliases receiver-owned slice`
+}
+
+// Export leaks the buffer through a returned composite literal.
+//
+//accellint:deepcopy
+func (p *pair) Export() export {
+	return export{name: "x", replay: p.block} // want `returned composite aliases receiver-owned slice`
+}
+
+// ExportNested leaks the buffer through a nested composite literal.
+//
+//accellint:deepcopy
+func (p *pair) ExportNested() []export {
+	return []export{{name: "x", replay: p.block}} // want `returned composite aliases receiver-owned slice`
+}
+
+// ExportAll leaks per-stream state through a local that flows into the
+// returned slice.
+//
+//accellint:deepcopy
+func (p *pair) ExportAll() []export {
+	out := make([]export, len(p.streams))
+	for i, s := range p.streams {
+		var e export
+		e.name = s.name
+		e.replay = s.buf // want `returned value aliases receiver-owned slice`
+		e.tags = s.tags  // want `returned value aliases receiver-owned map`
+		out[i] = e
+	}
+	return out
+}
+
+// ExportClean deep-copies everything it exports; no findings.
+//
+//accellint:deepcopy
+func (p *pair) ExportClean() []export {
+	out := make([]export, len(p.streams))
+	for i, s := range p.streams {
+		out[i] = export{
+			name:   s.name,
+			replay: append([]word(nil), s.buf...),
+			tags:   cloneTags(s.tags),
+		}
+	}
+	return out
+}
+
+// Import retains the caller's replay slice in the stream table.
+//
+//accellint:deepcopy
+func (p *pair) Import(e export) {
+	s := &stream{name: e.name}
+	s.buf = e.replay // want `stored field retains caller-owned slice`
+	p.streams = append(p.streams, s)
+}
+
+// ImportClean clones what it keeps; no findings.
+//
+//accellint:deepcopy
+func (p *pair) ImportClean(e export) {
+	s := &stream{
+		name: e.name,
+		buf:  append([]word(nil), e.replay...),
+		tags: cloneTags(e.tags),
+	}
+	p.streams = append(p.streams, s)
+}
+
+// rawBlock aliases on purpose but carries no directive, so it is not
+// checked.
+func (p *pair) rawBlock() []word { return p.block }
+
+func cloneTags(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package determ exercises the determinism analyzer: wall-clock reads,
+// global math/rand draws, and order-observing map iteration are findings;
+// seeded generators and the collect-then-sort idiom are not.
+package determ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock read time\.Now`
+	return t.Unix()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `global rand\.Intn`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded local generator: fine
+	return r.Intn(8)
+}
+
+func emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+func sortedEmit(m map[string]int) {
+	names := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: fine
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Println(k, m[k])
+	}
+}
+
+func aggregate(m map[string]int) int {
+	n := 0
+	seen := map[int]bool{}
+	for _, v := range m { // map writes and integer sums commute: fine
+		seen[v] = true
+		n += v
+	}
+	return n + len(seen)
+}
+
+type thing struct{ hits int }
+
+func annotated(m map[string]*thing) {
+	//accellint:unordered every entry gets the same reset; order cannot matter
+	for _, t := range m {
+		t.hits = 0
+	}
+}

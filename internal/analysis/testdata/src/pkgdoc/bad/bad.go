@@ -1,0 +1,5 @@
+package bad // want `package bad has no package doc comment`
+
+// Placeholder keeps the package non-empty (a declaration comment is not a
+// package doc comment).
+const Placeholder = 1

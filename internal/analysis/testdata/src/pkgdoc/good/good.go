@@ -1,0 +1,5 @@
+// Package good carries a package doc comment, so pkgdoc stays quiet.
+package good
+
+// Placeholder keeps the package non-empty.
+const Placeholder = 1

@@ -91,6 +91,8 @@ func (p *Pair) FreezeForFailover() error {
 // delay after FreezeForFailover so no word is still in flight toward this
 // pair's nodes. The pair's stream table is emptied: the streams now belong
 // to whoever imports them.
+//
+//accellint:deepcopy
 func (p *Pair) ExportStreams() ([]StreamExport, error) {
 	if !p.failed {
 		return nil, fmt.Errorf("gateway %s: ExportStreams requires a frozen pair", p.cfg.Name)
@@ -140,6 +142,8 @@ func (p *Pair) ExportStreams() ([]StreamExport, error) {
 // standingState deep-copies stream i's between-blocks engine state: the live
 // engine objects when this stream's state is currently swapped in, its saved
 // snapshot otherwise, nil when it never ran.
+//
+//accellint:deepcopy
 func (p *Pair) standingState(i int, s *Stream) [][]uint64 {
 	if !s.loaded {
 		return nil
@@ -170,6 +174,8 @@ func cloneState(st [][]uint64) [][]uint64 {
 // by the ApplySlots/Resume that re-sizes and re-arms the migrated slots. The
 // export's engine state becomes the stream's saved snapshot, and any aborted
 // in-flight block is seeded for replay at its next beginBlock.
+//
+//accellint:deepcopy
 func (p *Pair) ImportStream(e StreamExport) (int, error) {
 	if p.failed {
 		return 0, fmt.Errorf("gateway %s: cannot import onto a failed pair", p.cfg.Name)
@@ -182,11 +188,13 @@ func (p *Pair) ImportStream(e StreamExport) (int, error) {
 		return 0, err
 	}
 	// AddStream allocated a fresh saved-state table; restore the export's.
+	// Cloned, not adopted: the import must not retain the caller's slices,
+	// so a re-used or doubly-imported export cannot couple two pairs.
 	s.loaded = e.Engines != nil
 	if s.loaded {
-		s.saved = e.Engines
+		s.saved = cloneState(e.Engines)
 	}
-	s.pendingReplay = e.Replay
+	s.pendingReplay = append([]sim.Word(nil), e.Replay...)
 	s.pendingCommitted = e.Committed
 	s.pendingReplayStart = e.ReplayStart
 	return len(p.streams) - 1, nil

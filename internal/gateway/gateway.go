@@ -1457,6 +1457,8 @@ type StreamSnapshot struct {
 }
 
 // Snapshot returns the per-stream recovery/progress counters.
+//
+//accellint:deepcopy
 func (p *Pair) Snapshot() []StreamSnapshot {
 	out := make([]StreamSnapshot, len(p.streams))
 	for i, s := range p.streams {
