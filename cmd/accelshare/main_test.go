@@ -6,8 +6,6 @@ package main
 
 import (
 	"bytes"
-	"os"
-	"path/filepath"
 	"testing"
 )
 
@@ -151,36 +149,20 @@ func TestFailoverCommand(t *testing.T) {
 // TestFailoverGolden is an acceptance criterion: the failover campaign —
 // wedged-chain verdicts, stream migration, cost-vs-bound accounting,
 // conformance checks, trace rendering — must be byte-identical across runs
-// AND byte-identical to the checked-in golden file. Regenerate with
-//
-//	go run ./cmd/accelshare failover > cmd/accelshare/testdata/failover.golden
-//
-// only after verifying the behavioral change that moved it.
+// AND byte-identical to the checked-in golden file (see golden_test.go for
+// the -update regeneration workflow).
 func TestFailoverGolden(t *testing.T) {
-	var a, b bytes.Buffer
-	if err := failoverCampaign(&a, 60_000, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := failoverCampaign(&b, 60_000, nil); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Fatal("failover campaign output differs between two identical runs")
-	}
-	golden, err := os.ReadFile(filepath.Join("testdata", "failover.golden"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a.Bytes(), golden) {
-		t.Fatalf("failover campaign output diverged from testdata/failover.golden:\n--- got ---\n%s", a.String())
-	}
+	got := runTwice(t, "failover", func(w *bytes.Buffer) error {
+		return failoverCampaign(w, 60_000, nil)
+	})
+	checkGolden(t, "failover.golden", got)
 	for _, want := range []string{
 		"within-bound=true",
 		"re-solved for the standby chain",
 		"not triggered (per-stream recovery handled the fault)",
 		"zero lost or duplicated",
 	} {
-		if !bytes.Contains(a.Bytes(), []byte(want)) {
+		if !bytes.Contains(got, []byte(want)) {
 			t.Errorf("campaign output missing %q", want)
 		}
 	}

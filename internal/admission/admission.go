@@ -135,6 +135,10 @@ const (
 	// EvRetarget records the controller re-attaching to the standby chain
 	// after a failover migrated its streams there.
 	EvRetarget EventKind = "retarget"
+	// EvMigrate records the adoption of a stream evacuated from another
+	// chain (AdmitMigrated): an addition that imports exported gateway state
+	// instead of attaching a fresh stream.
+	EvMigrate EventKind = "migrate"
 )
 
 // Event is one event-log entry. Request kinds carry the Verdict; platform

@@ -27,6 +27,8 @@ func DeterminismCovered(path string) bool {
 		"accelshare/internal/gateway",
 		"accelshare/internal/mpsoc",
 		"accelshare/internal/admission",
+		"accelshare/internal/fault",
+		"accelshare/internal/cluster",
 		"accelshare/cmd/accelshare",
 	} {
 		if path == p || strings.HasPrefix(path, p+"/") {

@@ -55,6 +55,26 @@ func aggregate(m map[string]int) int {
 	return n + len(seen)
 }
 
+// backoffDelay is the fault.Backoff pattern: a bounded geometric delay
+// computed from pure integers — deterministic, no findings.
+func backoffDelay(attempt int) int64 {
+	d := int64(200)
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d > 3200 {
+			return 3200
+		}
+	}
+	return d
+}
+
+// jitteredBackoff is the tempting variant the analyzer exists to reject:
+// decorrelating retries via the process-global random source would make
+// every campaign replay diverge.
+func jitteredBackoff(attempt int) int64 {
+	return backoffDelay(attempt) + rand.Int63n(50) // want `global rand\.Int63n`
+}
+
 type thing struct{ hits int }
 
 func annotated(m map[string]*thing) {

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"accelshare/internal/sim"
+)
+
+// Deterministic open-loop traffic: a seeded xorshift stream drives arrivals
+// with paired departures plus one optional flash crowd. The generator is a
+// pure function of the Profile — no wall clock, no global RNG — so a chaos
+// soak replays byte-identically.
+
+// xorshift is a minimal 64-bit xorshift PRNG; the zero value is invalid
+// (xorshift never leaves 0), so Profile.Seed must be non-zero.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// Profile parameterises the open-loop generator.
+type Profile struct {
+	// Seed drives every random choice; must be non-zero.
+	Seed uint64
+	// Start/End bound background arrival times.
+	Start, End sim.Time
+	// MeanSpacing is the average gap between background arrivals in cycles
+	// (spacing is uniform over [MeanSpacing/2, 3·MeanSpacing/2)).
+	MeanSpacing sim.Time
+	// MinLifetime/MeanLifetime bound how long a background stream stays
+	// (uniform over [MinLifetime, MinLifetime+2·(MeanLifetime-MinLifetime))).
+	MinLifetime, MeanLifetime sim.Time
+	// Periods and Priorities are the sample-period / priority palettes
+	// background arrivals draw from (uniformly).
+	Periods    []int64
+	Priorities []int
+	// FlashAt triggers FlashCount near-simultaneous arrivals spaced
+	// FlashSpacing apart, each with period FlashPeriod, priority 0, leaving
+	// after FlashLifetime. FlashCount 0 disables the crowd.
+	FlashAt       sim.Time
+	FlashCount    int
+	FlashSpacing  sim.Time
+	FlashPeriod   int64
+	FlashLifetime sim.Time
+}
+
+// Op is one generated traffic operation.
+type Op struct {
+	At     sim.Time
+	Depart bool
+	Req    StreamRequest
+}
+
+// Ops expands the profile into a deterministic, time-sorted operation list.
+func (p Profile) Ops() []Op {
+	var ops []Op
+	rng := xorshift(p.Seed)
+	if rng == 0 {
+		rng = 1
+	}
+	if len(p.Periods) > 0 && p.MeanSpacing > 0 {
+		t := p.Start
+		n := 0
+		for {
+			span := p.MeanSpacing
+			gap := span/2 + sim.Time(rng.next()%uint64(span))
+			t += gap
+			if t >= p.End {
+				break
+			}
+			req := StreamRequest{
+				Name:   fmt.Sprintf("s%02d", n),
+				Period: p.Periods[rng.next()%uint64(len(p.Periods))],
+			}
+			if len(p.Priorities) > 0 {
+				req.Priority = p.Priorities[rng.next()%uint64(len(p.Priorities))]
+			}
+			life := p.MinLifetime
+			if p.MeanLifetime > p.MinLifetime {
+				life += sim.Time(rng.next() % uint64(2*(p.MeanLifetime-p.MinLifetime)))
+			}
+			ops = append(ops, Op{At: t, Req: req})
+			ops = append(ops, Op{At: t + life, Depart: true, Req: StreamRequest{Name: req.Name}})
+			n++
+		}
+	}
+	for i := 0; i < p.FlashCount; i++ {
+		at := p.FlashAt + sim.Time(i)*p.FlashSpacing
+		req := StreamRequest{Name: fmt.Sprintf("f%02d", i), Period: p.FlashPeriod}
+		ops = append(ops, Op{At: at, Req: req})
+		if p.FlashLifetime > 0 {
+			ops = append(ops, Op{At: at + p.FlashLifetime, Depart: true, Req: StreamRequest{Name: req.Name}})
+		}
+	}
+	sort.SliceStable(ops, func(a, b int) bool {
+		if ops[a].At != ops[b].At {
+			return ops[a].At < ops[b].At
+		}
+		if ops[a].Req.Name != ops[b].Req.Name {
+			return ops[a].Req.Name < ops[b].Req.Name
+		}
+		return !ops[a].Depart && ops[b].Depart
+	})
+	return ops
+}
+
+// Schedule registers every op against the controller on its kernel.
+func Schedule(c *Controller, ops []Op) {
+	k := c.k
+	for _, op := range ops {
+		op := op
+		if op.Depart {
+			k.ScheduleAt(op.At, func() { c.Depart(op.Req.Name) })
+		} else {
+			k.ScheduleAt(op.At, func() { c.Submit(op.Req) })
+		}
+	}
+}

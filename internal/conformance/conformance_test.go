@@ -177,6 +177,61 @@ func TestMinBlocksCoverage(t *testing.T) {
 	}
 }
 
+// TestOptionEdgeCases pins the scoping corners campaign code leans on:
+// a cut past the last event empties the scope (silently green unless
+// MinBlocks guards it), an unsatisfied MinBlocks short-circuits per-block
+// checks entirely, MinBlocks equal to the trace length passes, and
+// ReplayBound over a trace with zero retries demands zero replayed words.
+func TestOptionEdgeCases(t *testing.T) {
+	records := [][]gateway.BlockRecord{{
+		rec(0, 10, 100, 0),
+		rec(100, 110, 200, 0),
+	}}
+
+	// After beyond the last Done: everything out of scope. Without MinBlocks
+	// the check is vacuously green — which is why every campaign pairs a
+	// tail cut with MinBlocks.
+	res := Check(oneBound(), records, Options{After: 200})
+	if len(res.Violations) != 0 || res.Checked != 0 {
+		t.Fatalf("violations = %v checked = %d, want none/0", res.Violations, res.Checked)
+	}
+	res = Check(oneBound(), records, Options{After: 200, MinBlocks: 1})
+	if got := kinds(res); len(got) != 1 || got[0] != "coverage" {
+		t.Fatalf("violations = %v, want [coverage]", got)
+	}
+
+	// An unsatisfied MinBlocks reports coverage INSTEAD of the per-block
+	// checks: the one in-scope block here violates τ̂, but a partial trace
+	// must not be double-reported as both missing and failing.
+	bad := [][]gateway.BlockRecord{{rec(0, 10, 500, 0)}}
+	res = Check(oneBound(), bad, Options{MinBlocks: 3})
+	if got := kinds(res); len(got) != 1 || got[0] != "coverage" {
+		t.Fatalf("violations = %v, want [coverage] only", got)
+	}
+	if res.Checked != 0 {
+		t.Fatalf("checked = %d, want 0 for a stream failing coverage", res.Checked)
+	}
+
+	// MinBlocks exactly equal to the in-scope count is satisfied.
+	res = Check(oneBound(), records, Options{MinBlocks: 2, SkipThroughput: true})
+	if len(res.Violations) != 0 || res.Checked != 2 {
+		t.Fatalf("violations = %v checked = %d, want none/2", res.Violations, res.Checked)
+	}
+
+	// ReplayBound with zero retries anywhere: allowed replay is 0·bound = 0,
+	// so a clean trace passes and any replayed word is a finding.
+	res = Check(oneBound(), records, Options{ReplayBound: 4, SkipThroughput: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean zero-retry trace with ReplayBound: %v", res.Violations)
+	}
+	leak := [][]gateway.BlockRecord{{rec(0, 10, 100, 0)}}
+	leak[0][0].Replayed = 1
+	res = Check(oneBound(), leak, Options{ReplayBound: 4})
+	if got := kinds(res); len(got) != 1 || got[0] != "replay" {
+		t.Fatalf("violations = %v, want [replay]", got)
+	}
+}
+
 func TestThroughputFloor(t *testing.T) {
 	// μ = 1/10 with η = 16: a block every ≤ 160 cycles sustains the rate.
 	fast := [][]gateway.BlockRecord{{

@@ -481,7 +481,13 @@ func NewPair(k *sim.Kernel, net *ring.Dual, cfg Config, tiles []*accel.Tile, ent
 	entryLink.SubscribeRingSpace(p.step)
 	exitNI.SubscribeData(p.exitStep)
 	// Pipeline-idle notifications arrive on the entry tile's idle port.
-	net.Data.Node(cfg.EntryNode).Bind(cfg.IdlePort, func(m ring.Message) {
+	// They travel the counter-rotating credit ring: the entry gateway sits
+	// UPSTREAM of the exit gateway, so the data-ring path would be almost a
+	// full rotation — and would grow with every chain added to the platform,
+	// leaking an O(ring-size) term into measured service latency that the
+	// temporal model (Eq. 2) has no business covering. On the credit ring
+	// the hop count is the chain length, a per-chain constant.
+	net.Credit.Node(cfg.EntryNode).Bind(cfg.IdlePort, func(m ring.Message) {
 		p.onPipelineIdle(int(m.W))
 	})
 	return p, nil
@@ -1230,7 +1236,7 @@ func (p *Pair) pushIdle(streamIdx int, epoch uint64) {
 	if p.blockEpoch != epoch {
 		return
 	}
-	if !p.net.Data.Node(p.cfg.ExitNode).TrySend(p.cfg.EntryNode, p.cfg.IdlePort, sim.Word(streamIdx)) {
+	if !p.net.Credit.Node(p.cfg.ExitNode).TrySend(p.cfg.EntryNode, p.cfg.IdlePort, sim.Word(streamIdx)) {
 		p.k.Schedule(2, func() { p.pushIdle(streamIdx, epoch) })
 	}
 }

@@ -88,6 +88,12 @@ type MultiSystem struct {
 	K      *sim.Kernel
 	Net    *ring.Dual
 	Chains []*Chain
+	// portSeq numbers every stream's C-FIFO ports uniquely across the whole
+	// platform. Ring ports are handler keys on nodes, so uniqueness must
+	// hold per node — and evacuation re-points a stream's gateway-side
+	// endpoints onto ANOTHER chain's entry/exit nodes, where a chain-local
+	// numbering would collide with the host's own streams.
+	portSeq int
 }
 
 // BuildMulti assembles the multi-chain platform. Ring node layout per
@@ -122,7 +128,7 @@ func BuildMulti(cfg MultiConfig) (*MultiSystem, error) {
 	ms := &MultiSystem{K: k, Net: net}
 	next := 0
 	for ci := range cfg.Chains {
-		ch, err := assembleChain(k, net, cfg, cfg.Chains[ci], &next)
+		ch, err := assembleChain(k, net, cfg, cfg.Chains[ci], &next, &ms.portSeq)
 		if err != nil {
 			return nil, fmt.Errorf("chain %q: %w", cfg.Chains[ci].Name, err)
 		}
@@ -139,7 +145,7 @@ const (
 
 // assembleChain wires one gateway pair and its streams, consuming ring
 // nodes from *next.
-func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpec, next *int) (*Chain, error) {
+func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpec, next, portSeq *int) (*Chain, error) {
 	take := func() int { n := *next; *next++; return n }
 	entryN := take()
 	var accelN []int
@@ -209,7 +215,9 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 	for i := range spec.Streams {
 		srcN := take()
 		sinkN := take()
-		st, err := buildStream(k, net, ch, spec.Streams[i], i, srcN, sinkN)
+		port := *portSeq
+		*portSeq++
+		st, err := buildStream(k, net, ch, spec.Streams[i], i, port, srcN, sinkN)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +238,7 @@ func assembleChain(k *sim.Kernel, net *ring.Dual, top MultiConfig, spec ChainSpe
 // buildStream wires one stream's C-FIFOs and gateway slot (without
 // registering it with the pair or starting its tasks): shared between
 // build-time assembly and runtime AttachStream.
-func buildStream(k *sim.Kernel, net *ring.Dual, ch *Chain, ss StreamSpec, idx, srcN, sinkN int) (*Stream, error) {
+func buildStream(k *sim.Kernel, net *ring.Dual, ch *Chain, ss StreamSpec, idx, port, srcN, sinkN int) (*Stream, error) {
 	if ss.Decimation < 1 {
 		ss.Decimation = 1
 	}
@@ -241,7 +249,7 @@ func buildStream(k *sim.Kernel, net *ring.Dual, ch *Chain, ss StreamSpec, idx, s
 	in, err := cfifo.New(k, net, cfifo.Config{
 		Name: ss.Name + ".in", Capacity: ss.InCapacity,
 		ProducerNode: srcN, ConsumerNode: ch.EntryNode,
-		DataPort: 100 + idx, AckPort: 100 + idx,
+		DataPort: 100 + port, AckPort: 100 + port,
 		AckBatch: ackBatch(ss.InCapacity),
 	})
 	if err != nil {
@@ -250,7 +258,7 @@ func buildStream(k *sim.Kernel, net *ring.Dual, ch *Chain, ss StreamSpec, idx, s
 	out, err := cfifo.New(k, net, cfifo.Config{
 		Name: ss.Name + ".out", Capacity: ss.OutCapacity,
 		ProducerNode: ch.ExitNode, ConsumerNode: sinkN,
-		DataPort: 100 + idx, AckPort: 200 + idx,
+		DataPort: 100 + port, AckPort: 200 + port,
 		AckBatch: 1,
 	})
 	if err != nil {
@@ -302,7 +310,9 @@ func (m *MultiSystem) AttachStream(chainIdx int, ss StreamSpec) (*Stream, error)
 	}
 	nodes := ch.reserved[0]
 	idx := len(ch.Strs)
-	st, err := buildStream(m.K, m.Net, ch, ss, idx, nodes[0], nodes[1])
+	port := m.portSeq
+	m.portSeq++
+	st, err := buildStream(m.K, m.Net, ch, ss, idx, port, nodes[0], nodes[1])
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +323,44 @@ func (m *MultiSystem) AttachStream(chainIdx int, ss StreamSpec) (*Stream, error)
 	ch.Strs = append(ch.Strs, st)
 	startStreamTasks(m.K, st)
 	return st, nil
+}
+
+// AdoptStream moves one exported stream onto chain chainIdx: the per-stream
+// evacuation primitive of the fleet control plane. Where a full failover
+// migrates every slot of a dead pair to one standby, evacuation re-places
+// each stream individually on whichever surviving chain admits it. The
+// caller must have frozen the source pair (gateway.FreezeForFailover), gated
+// the stream's input producer (cfifo.BeginRepoint) and waited out the settle
+// delay; the target pair must be paused (the import runs inside an admission
+// transition). Unlike AttachStream, no reserved ring slot is consumed — the
+// stream keeps its existing source/sink ring nodes, only the C-FIFO gateway
+// endpoints are re-pointed.
+func (m *MultiSystem) AdoptStream(chainIdx int, st *Stream, e gateway.StreamExport) (int, error) {
+	if chainIdx < 0 || chainIdx >= len(m.Chains) {
+		return 0, fmt.Errorf("mpsoc: chain %d out of range", chainIdx)
+	}
+	ch := m.Chains[chainIdx]
+	slot, err := ch.Pair.ImportStream(e)
+	if err != nil {
+		return 0, err
+	}
+	st.In.RepointConsumer(ch.EntryNode)
+	st.Out.RepointProducer(ch.ExitNode)
+	ch.Strs = append(ch.Strs, st)
+	return slot, nil
+}
+
+// StartSource (re)starts a stream's built-in source task by reference.
+// Evacuation moves Stream objects between chains, so the (chain, index)
+// addressing of ResumeSource does not survive a migration; the control plane
+// holds the *Stream and restarts it directly (a shed stream resuming after
+// readmission onto a healed chain).
+func (m *MultiSystem) StartSource(st *Stream) {
+	if st.Spec.ExternalSource {
+		return
+	}
+	st.sourceGen++
+	startSourceTask(m.K, st)
 }
 
 // ResumeSource (re)starts a stream's built-in source task after StopSource
