@@ -6,10 +6,13 @@
 // Usage:
 //
 //	go run ./cmd/benchrecord -o BENCH_2026-08.json [-benchtime 3x] [pkgs...]
+//	go run ./cmd/benchrecord -diff [-threshold 10] OLD.json NEW.json
 //
-// Default packages are the repo root (paper tables/figures) and the
-// fleet-scale cluster benches. The output is sorted by benchmark name so
-// re-records diff cleanly.
+// Default packages are the repo root (paper tables/figures), the
+// fleet-scale cluster benches and the solver benches. The output is sorted
+// by benchmark name so re-records diff cleanly; -diff compares two
+// recorded baselines and exits 1 when any benchmark's ns/op grew by more
+// than -threshold percent.
 package main
 
 import (
@@ -51,10 +54,19 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyy-mm>.json)")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	diff := flag.Bool("diff", false, "compare two recorded baselines: -diff OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 10, "regression threshold for -diff, in percent ns/op growth")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchrecord: -diff needs exactly two baseline files")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{".", "./internal/cluster"}
+		pkgs = []string{".", "./internal/cluster", "./internal/solve"}
 	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01"))

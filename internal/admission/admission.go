@@ -49,6 +49,7 @@ import (
 	"accelshare/internal/ilp"
 	"accelshare/internal/mpsoc"
 	"accelshare/internal/sim"
+	"accelshare/internal/solve"
 )
 
 // Reason is a machine-readable verdict category.
@@ -101,11 +102,15 @@ type Verdict struct {
 	Detail string
 	// Blocks is the applied assignment (accepted requests only).
 	Blocks []BlockAssignment
-	// FixedPoint is true when the warm-started fixed point produced the
-	// assignment (the budgeted ILP gave up or granularity constraints
+	// FixedPoint is true when the warm-started exact fixed point produced
+	// the assignment (the budgeted ILP gave up or granularity constraints
 	// ruled it out); SolveRounds is the iteration count then.
 	FixedPoint  bool
 	SolveRounds int
+	// SolverPath records which solve.Solver decision procedure produced
+	// the assignment (solve.PathILP, PathWarm or PathFloat). FixedPoint is
+	// its legacy projection: true exactly for PathWarm.
+	SolverPath solve.Path
 	// BoundCycles bounds the transition: max τ̂s over the outgoing
 	// configuration (the drain can wait for one in-flight block, retries
 	// included in the Rs + (η+2)c0 envelope) plus the configuration-bus
@@ -179,6 +184,13 @@ type Config struct {
 	ILPNodes int
 	// WarmRounds bounds the warm-started fixed-point iteration.
 	WarmRounds int
+	// Solver is the Algorithm 1 decision procedure (nil = the production
+	// stack solve.Default(ILPNodes, WarmRounds): warm-start layer over an
+	// exact/fast tier split, every fast-path plan exactly re-verified).
+	// The controller passes its committed assignment as Problem.Prev on
+	// every re-solve, so warm-start soundness (additions reuse, removals
+	// restart cold) is the solver stack's responsibility.
+	Solver solve.Solver
 	// Engines builds the per-accelerator engine set for a stream admitted
 	// from a script (Play); direct AddStream callers supply engines in the
 	// request spec instead.
@@ -199,9 +211,10 @@ type Config struct {
 
 // Controller is the admission control plane for one chain.
 type Controller struct {
-	ms  *mpsoc.MultiSystem
-	ci  int
-	cfg Config
+	ms     *mpsoc.MultiSystem
+	ci     int
+	cfg    Config
+	solver solve.Solver
 
 	model *core.System
 	// gwSlot[i] is the gateway slot of model stream i: the gateway's slot
@@ -273,8 +286,12 @@ func New(ms *mpsoc.MultiSystem, cfg Config) (*Controller, error) {
 				cfg.Model.Streams[i].Name, cfg.Model.Streams[i].Block, ch.Strs[i].GW.Block)
 		}
 	}
+	solver := cfg.Solver
+	if solver == nil {
+		solver = solve.Default(cfg.ILPNodes, cfg.WarmRounds)
+	}
 	c := &Controller{
-		ms: ms, ci: cfg.Chain, cfg: cfg,
+		ms: ms, ci: cfg.Chain, cfg: cfg, solver: solver,
 		model:  cfg.Model,
 		decim:  append([]int64(nil), decim...),
 		parked: map[string]*parkedStream{},
@@ -328,27 +345,27 @@ func assignment(model *core.System, blocks []int64) []BlockAssignment {
 	return out
 }
 
-// solve runs the incremental Algorithm 1 over the candidate model: the
-// budgeted exact ILP first, the warm-started fixed point when the budget
-// runs out or when granularity constraints rule the ILP out. start, when
-// non-nil, must be a sound warm start (≤ the new least fixed point —
-// valid after stream additions, nil after removals).
-func (c *Controller) solve(model *core.System, start, granularity []int64) (*core.BlockSizeResult, bool, error) {
-	plain := true
-	for _, g := range granularity {
-		if g > 1 {
-			plain = false
-			break
-		}
+// solve runs the incremental Algorithm 1 over the candidate model through
+// the configured solve.Solver. The previously committed assignment rides
+// along as Problem.Prev; the solver stack's warm-start layer decides
+// whether it is a sound seed (the candidate only adds streams) or whether
+// the iteration must restart cold (a committed stream is gone, so the
+// least fixed point shrank). Rejections keep their legacy error identities:
+// core.ErrInfeasible, core.ErrSolverBudget and ilp.ErrBranchBudget all
+// surface unchanged through the interface.
+func (c *Controller) solve(model *core.System, granularity []int64) (*solve.Result, error) {
+	prev := make([]solve.Assignment, len(c.model.Streams))
+	for i := range c.model.Streams {
+		prev[i] = solve.Assignment{Name: c.model.Streams[i].Name, Block: c.model.Streams[i].Block}
 	}
-	if plain {
-		res, err := model.ComputeBlockSizesILPBudget(c.cfg.ILPNodes)
-		if err == nil || !errors.Is(err, ilp.ErrBranchBudget) {
-			return res, false, err
-		}
-	}
-	res, err := model.ComputeBlockSizesWarm(start, granularity, c.cfg.WarmRounds)
-	return res, true, err
+	return c.solver.Solve(&solve.Problem{Model: model, Granularity: granularity, Prev: prev})
+}
+
+// verdictSolver fills a verdict's solver-provenance fields from a result.
+func verdictSolver(v *Verdict, res *solve.Result) {
+	v.SolverPath = res.Path
+	v.FixedPoint = res.Path == solve.PathWarm
+	v.SolveRounds = res.Rounds
 }
 
 // checkBuffers verifies every candidate stream's C-FIFOs against the
@@ -449,15 +466,9 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 	})
 	granularity := append(append([]int64(nil), c.decim...), decimation)
 	// Adding a stream grows Algorithm 1's operator pointwise, so the
-	// running assignment is ≤ the new least fixed point: a sound warm
-	// start.
-	start := make([]int64, len(cand.Streams))
-	for i := range c.model.Streams {
-		start[i] = c.model.Streams[i].Block
-	}
-	start[len(start)-1] = 1
-
-	res, viaFP, err := c.solve(cand, start, granularity)
+	// running assignment (passed as Problem.Prev by solve) is ≤ the new
+	// least fixed point: the solver stack warm-starts from it.
+	res, err := c.solve(cand, granularity)
 	if err != nil {
 		reason, detail := rejectReason(err)
 		c.reject(EvAdd, name, reason, detail, done)
@@ -480,10 +491,9 @@ func (c *Controller) AddStream(req AddRequest, done func(Verdict)) {
 		Accepted:    true,
 		Reason:      ReasonAdmitted,
 		Blocks:      assignment(cand, res.Blocks),
-		FixedPoint:  viaFP,
-		SolveRounds: res.Rounds,
 		BoundCycles: c.transitionBound(len(cand.Streams)),
 	}
+	verdictSolver(&v, res)
 	spec := req.Spec
 	spec.Block = res.Blocks[len(res.Blocks)-1]
 	spec.Decimation = decimation
@@ -610,7 +620,10 @@ func (c *Controller) RemoveStream(name string, done func(Verdict)) {
 	gwSlots := append([]int(nil), c.gwSlot[:idx]...)
 	gwSlots = append(gwSlots, c.gwSlot[idx+1:]...)
 
-	res, viaFP, err := c.solve(cand, nil, granularity)
+	// The removed stream is still in Prev but absent from cand, so the
+	// solver stack restarts cold — the shrunken least fixed point may lie
+	// below every warm seed the old assignment could provide.
+	res, err := c.solve(cand, granularity)
 	if err != nil {
 		reason, detail := rejectReason(err)
 		c.reject(EvRemove, name, reason, detail, done)
@@ -623,10 +636,9 @@ func (c *Controller) RemoveStream(name string, done func(Verdict)) {
 		Accepted:    true,
 		Reason:      ReasonAdmitted,
 		Blocks:      assignment(cand, res.Blocks),
-		FixedPoint:  viaFP,
-		SolveRounds: res.Rounds,
 		BoundCycles: c.transitionBound(len(c.model.Streams)),
 	}
+	verdictSolver(&v, res)
 	parked := &parkedStream{
 		slot:       slot,
 		rate:       new(big.Rat).Set(c.model.Streams[idx].Rate),
@@ -743,13 +755,7 @@ func (c *Controller) Readmit(name string, done func(Verdict)) {
 		Reconfig: p.reconfig,
 	})
 	granularity := append(append([]int64(nil), c.decim...), p.decimation)
-	start := make([]int64, len(cand.Streams))
-	for i := range c.model.Streams {
-		start[i] = c.model.Streams[i].Block
-	}
-	start[len(start)-1] = 1
-
-	res, viaFP, err := c.solve(cand, start, granularity)
+	res, err := c.solve(cand, granularity)
 	if err != nil {
 		reason, detail := rejectReason(err)
 		c.reject(EvReadmit, name, reason, detail, done)
@@ -773,10 +779,9 @@ func (c *Controller) Readmit(name string, done func(Verdict)) {
 		Accepted:    true,
 		Reason:      ReasonAdmitted,
 		Blocks:      assignment(cand, res.Blocks),
-		FixedPoint:  viaFP,
-		SolveRounds: res.Rounds,
 		BoundCycles: c.transitionBound(len(cand.Streams)),
 	}
+	verdictSolver(&v, res)
 	prev := assignment(c.model, blocksOf(c.model))
 	quarantined := p.quarantined
 

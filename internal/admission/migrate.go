@@ -16,6 +16,7 @@ import (
 
 	"accelshare/internal/core"
 	"accelshare/internal/gateway"
+	"accelshare/internal/solve"
 )
 
 // MigrateRequest asks a controller to adopt a stream evacuated from another
@@ -88,13 +89,7 @@ func (c *Controller) AdmitMigrated(req MigrateRequest, done func(Verdict)) {
 		Reconfig: req.Reconfig,
 	})
 	granularity := append(append([]int64(nil), c.decim...), decimation)
-	start := make([]int64, len(cand.Streams))
-	for i := range c.model.Streams {
-		start[i] = c.model.Streams[i].Block
-	}
-	start[len(start)-1] = 1
-
-	res, viaFP, err := c.solve(cand, start, granularity)
+	res, err := c.solve(cand, granularity)
 	if err != nil {
 		reason, detail := rejectReason(err)
 		c.reject(EvMigrate, name, reason, detail, done)
@@ -111,7 +106,7 @@ func (c *Controller) AdmitMigrated(req MigrateRequest, done func(Verdict)) {
 		for i, bl := range blocks {
 			cand.Streams[i].Block = bl
 		}
-		if !cand.FeasibleBlocks(blocks) {
+		if v := solve.Verify(cand, granularity, blocks); !v.Feasible {
 			c.reject(EvMigrate, name, ReasonInfeasible,
 				fmt.Sprintf("replay residue floors eta at %d, infeasible alongside the survivors", b), done)
 			return
@@ -135,10 +130,9 @@ func (c *Controller) AdmitMigrated(req MigrateRequest, done func(Verdict)) {
 		Accepted:    true,
 		Reason:      ReasonAdmitted,
 		Blocks:      assignment(cand, blocks),
-		FixedPoint:  viaFP,
-		SolveRounds: res.Rounds,
 		BoundCycles: c.transitionBound(len(cand.Streams)),
 	}
+	verdictSolver(&v, res)
 
 	c.busy = true
 	gen := c.gen

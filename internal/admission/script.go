@@ -9,6 +9,7 @@ import (
 
 	"accelshare/internal/mpsoc"
 	"accelshare/internal/sim"
+	"accelshare/internal/solve"
 )
 
 // OpKind is a scripted request kind.
@@ -153,7 +154,12 @@ func FormatEvent(e Event) string {
 				fmt.Fprintf(&b, "%s=%d", a.Name, a.Block)
 			}
 			solver := "ilp"
-			if v.FixedPoint {
+			switch {
+			case v.SolverPath == solve.PathFloat:
+				// Fast-path plans only exist after exact re-verification;
+				// the label records both the path and that it converged.
+				solver = fmt.Sprintf("float-verified/%d", v.SolveRounds)
+			case v.FixedPoint:
 				solver = fmt.Sprintf("fixed-point/%d", v.SolveRounds)
 			}
 			fmt.Fprintf(&b, "] solver=%s bound=%d pause=%d bus=%d", solver, v.BoundCycles, v.PauseWait, v.BusCycles)

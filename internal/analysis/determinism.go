@@ -29,6 +29,7 @@ func DeterminismCovered(path string) bool {
 		"accelshare/internal/admission",
 		"accelshare/internal/fault",
 		"accelshare/internal/cluster",
+		"accelshare/internal/solve",
 		"accelshare/cmd/accelshare",
 	} {
 		if path == p || strings.HasPrefix(path, p+"/") {

@@ -1,0 +1,52 @@
+// Package boundfloat exercises the boundcheck analyzer's float rule
+// against the core stub: no float value may flow into a bound comparison
+// without exact re-verification. A float-path candidate truncated into an
+// exact comparison (int64/uint64 of a float) and a bound hoisted onto
+// floats (float64 of a bound) are findings; comparing after an exact
+// re-verification step — integer values all the way down — is not.
+package boundfloat
+
+import "core"
+
+func floatIntoComparison(s *core.System, estimate float64) (bool, error) {
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	return uint64(estimate) <= tau, nil // want `float value converted to uint64 inside a bound comparison`
+}
+
+func boundOntoFloats(s *core.System, estimate float64) (bool, error) {
+	gamma, err := s.GammaHat(0)
+	if err != nil {
+		return false, err
+	}
+	return estimate <= float64(gamma), nil // want `bound-side value converted to float64 inside a bound comparison`
+}
+
+func floatBothSides(s *core.System, estimate, jitter float64) (bool, error) {
+	eps, err := s.EpsilonHat(0)
+	if err != nil {
+		return false, err
+	}
+	// Both operands smuggle floats: each side is reported once.
+	return uint64(estimate) <= eps+uint64(jitter), nil // want `float value converted to uint64 inside a bound comparison` `float value converted to uint64 inside a bound comparison`
+}
+
+// reverify models the sanctioned pattern: the float candidate is rounded
+// up once, re-verified exactly (the stub's VerifyThroughput stands in for
+// solve.Verify), and only the exact integer ever meets the bound.
+func reverify(s *core.System, candidate uint64) (bool, error) {
+	if err := s.VerifyThroughput(); err != nil {
+		return false, err
+	}
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	return candidate <= tau, nil // exact integers on both sides: fine
+}
+
+func floatMathElsewhere(estimate float64) float64 {
+	return float64(int64(estimate * 2)) // no bound involved: fine
+}

@@ -38,6 +38,7 @@ import (
 	"accelshare/internal/gateway"
 	"accelshare/internal/mpsoc"
 	"accelshare/internal/sim"
+	"accelshare/internal/solve"
 )
 
 // ChainSpec describes one chain of the fleet.
@@ -86,7 +87,13 @@ type Config struct {
 	// CollectOutputs stores every output word (functional contiguity checks
 	// in campaigns; off for long soaks where memory matters).
 	CollectOutputs bool
-	Chains         []ChainSpec
+	// Solver is the per-chain Algorithm 1 decision procedure handed to
+	// every admission controller (nil = the admission default,
+	// solve.Default: exact below the tier split, exactly-verified float
+	// fast path above). One shared instance is fine — solvers are
+	// stateless and safe for concurrent use.
+	Solver solve.Solver
+	Chains []ChainSpec
 }
 
 // StreamRequest asks the fleet to admit a new stream.
@@ -349,6 +356,7 @@ func New(cfg Config) (*Controller, error) {
 			Chain:          pos,
 			Model:          models[pos],
 			PerSlotCost:    cfg.PerSlotCost,
+			Solver:         cfg.Solver,
 			Checkpoint:     cfg.Recovery.Checkpoint,
 			CheckpointCost: cfg.Recovery.CheckpointCost,
 		})
@@ -1042,6 +1050,7 @@ func (c *Controller) onHeal(ci *chainInfo) {
 		Chain:          ci.idx,
 		Model:          model,
 		PerSlotCost:    c.cfg.PerSlotCost,
+		Solver:         c.cfg.Solver,
 		Checkpoint:     c.cfg.Recovery.Checkpoint,
 		CheckpointCost: c.cfg.Recovery.CheckpointCost,
 	})
