@@ -1,0 +1,66 @@
+package main
+
+// Kernel-swap regression gate: the timing-wheel scheduler replaced the
+// binary-heap kernel under every campaign in this table, and the checked-in
+// goldens were recorded on the heap kernel. These tests therefore pin the
+// wheel to the heap's exact (time, seq) schedule — byte for byte, with NO
+// -update escape hatch. A diff here is a kernel bug (ordering, cascade, or
+// horizon semantics), never a golden refresh; fix the kernel, don't touch
+// testdata.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKernelGoldenRegression(t *testing.T) {
+	cases := []struct {
+		name     string
+		golden   string
+		long     bool // skipped under -short
+		campaign func(w *bytes.Buffer) error
+	}{
+		{"faults", "faults.golden", true, func(w *bytes.Buffer) error {
+			return faultCampaign(w, 50_000)
+		}},
+		{"admit", "admit.golden", false, func(w *bytes.Buffer) error {
+			return admitCampaign(w, defaultAdmitScript, 60_000, 2)
+		}},
+		{"failover", "failover.golden", false, func(w *bytes.Buffer) error {
+			return failoverCampaign(w, 60_000, nil)
+		}},
+		{"chaos-short", "chaos_short.golden", false, func(w *bytes.Buffer) error {
+			return chaosCampaign(w, true, 1789)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.long && testing.Short() {
+				t.Skipf("%s campaign is long", tc.name)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatalf("missing golden (the gate has no regeneration path): %v", err)
+			}
+			var got bytes.Buffer
+			if err := tc.campaign(&got); err != nil {
+				t.Fatalf("%s campaign: %v", tc.name, err)
+			}
+			if bytes.Equal(got.Bytes(), want) {
+				return
+			}
+			gl := bytes.Split(got.Bytes(), []byte("\n"))
+			wl := bytes.Split(want, []byte("\n"))
+			for i := 0; i < len(gl) && i < len(wl); i++ {
+				if !bytes.Equal(gl[i], wl[i]) {
+					t.Fatalf("kernel schedule diverged from pre-wheel golden %s at line %d:\n got: %s\nwant: %s",
+						tc.golden, i+1, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("kernel schedule diverged from %s: got %d lines, want %d", tc.golden, len(gl), len(wl))
+		})
+	}
+}

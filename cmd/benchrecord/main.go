@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchrecord -o BENCH_2026-08.json [-benchtime 3x] [pkgs...]
+//	go run ./cmd/benchrecord -o BENCH_2026-08.json [-benchtime 100ms] [pkgs...]
 //	go run ./cmd/benchrecord -diff [-threshold 10] OLD.json NEW.json
 //
+// The default benchtime is duration-based rather than a fixed iteration
+// count: the ms-scale campaign benches still run about once, while the
+// ns-scale kernel benches get enough iterations to amortise cascade bursts
+// — a 3-iteration sample of a bursty microbench can be off by several x,
+// which would make the -diff gate flaky.
+//
 // Default packages are the repo root (paper tables/figures), the
-// fleet-scale cluster benches and the solver benches. The output is sorted
+// fleet-scale cluster benches, the event-kernel benches and the solver
+// benches. The output is sorted
 // by benchmark name so re-records diff cleanly; -diff compares two
 // recorded baselines and exits 1 when any benchmark's ns/op grew by more
 // than -threshold percent.
@@ -53,7 +60,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyy-mm>.json)")
-	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	benchtime := flag.String("benchtime", "100ms", "go test -benchtime value")
 	diff := flag.Bool("diff", false, "compare two recorded baselines: -diff OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 10, "regression threshold for -diff, in percent ns/op growth")
 	flag.Parse()
@@ -66,7 +73,7 @@ func main() {
 	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{".", "./internal/cluster", "./internal/solve"}
+		pkgs = []string{".", "./internal/cluster", "./internal/sim", "./internal/solve"}
 	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01"))

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"accelshare/internal/sim"
+)
+
+// Parallel cells: a fleet of independent cluster cells — each one a full
+// Controller with its own kernel, ring, chains and degradation ladder — run
+// concurrently on goroutines by a sim.Group, synchronising at quantum
+// barriers where a deterministic front door dispatches fleet-level arrivals
+// and departures.
+//
+// Determinism: cells share no simulation state (separate kernels, separate
+// rings), so within a window the goroutine interleaving is unobservable; the
+// dispatch hook runs single-threaded at each barrier, consumes the fleet op
+// feed in its fixed time-sorted order, routes by least-loaded-cell with
+// index tie-break, and schedules onto the target kernel exactly at the
+// window boundary. TestCellsParallelMatchesSequential pins byte-equality of
+// the merged fleet log against the sequential schedule, and the PR 5
+// determinism analyzer (no wall clock, no global rand, no map iteration)
+// covers this file like the rest of the package.
+
+// CellSpec names one cell and its fleet configuration.
+type CellSpec struct {
+	Name   string
+	Config Config
+}
+
+// Dispatch records one front-door routing decision (deterministic, part of
+// the observable fleet history).
+type Dispatch struct {
+	At     sim.Time
+	Cell   string
+	Name   string
+	Depart bool
+}
+
+// Cells is the parallel multi-cell fleet.
+type Cells struct {
+	names []string
+	cells []*Controller
+	group *sim.Group
+
+	ops  []Op // time-sorted fleet feed (Profile.Ops order)
+	next int
+
+	load  []int          // live fleet-dispatched streams per cell
+	owner map[string]int // stream name -> owning cell index
+
+	// Dispatches is the append-only routing log.
+	Dispatches []Dispatch
+}
+
+// NewCells builds one Controller per spec and a lockstep group over their
+// kernels. The quantum bounds how stale the front door's load view can be:
+// arrivals land at the first window boundary at or after their nominal time.
+func NewCells(quantum sim.Time, specs []CellSpec) (*Cells, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no cells")
+	}
+	cs := &Cells{owner: map[string]int{}}
+	var ks []*sim.Kernel
+	for _, sp := range specs {
+		c, err := New(sp.Config)
+		if err != nil {
+			return nil, fmt.Errorf("cell %q: %w", sp.Name, err)
+		}
+		cs.names = append(cs.names, sp.Name)
+		cs.cells = append(cs.cells, c)
+		cs.load = append(cs.load, 0)
+		ks = append(ks, c.System().K)
+	}
+	cs.group = sim.NewGroup(quantum, ks...)
+	cs.group.SetBarrier(cs.dispatch)
+	return cs, nil
+}
+
+// SetParallel toggles goroutine fan-out (sequential mode exists for the
+// determinism proof and for debugging).
+func (cs *Cells) SetParallel(p bool) { cs.group.SetParallel(p) }
+
+// CellCount returns the number of cells.
+func (cs *Cells) CellCount() int { return len(cs.cells) }
+
+// Cell returns cell i's controller (read it only between Run calls).
+func (cs *Cells) Cell(i int) *Controller { return cs.cells[i] }
+
+// CellName returns cell i's name.
+func (cs *Cells) CellName(i int) string { return cs.names[i] }
+
+// Feed appends fleet-level traffic; ops must be time-sorted (Profile.Ops
+// already is).
+func (cs *Cells) Feed(ops []Op) { cs.ops = append(cs.ops, ops...) }
+
+// Run advances every cell to the horizon in parallel lockstep windows.
+func (cs *Cells) Run(horizon sim.Time) { cs.group.Run(horizon) }
+
+// dispatch is the barrier hook: route every matured fleet op. Arrivals go to
+// the least-loaded cell (fewest live fleet streams, lowest index wins ties);
+// departures go to the owning cell. Ops are scheduled exactly at the window
+// boundary, the earliest instant every cell clock has reached.
+func (cs *Cells) dispatch(end sim.Time) {
+	for cs.next < len(cs.ops) && cs.ops[cs.next].At <= end {
+		op := cs.ops[cs.next]
+		cs.next++
+		if op.Depart {
+			ci, ok := cs.owner[op.Req.Name]
+			if !ok {
+				continue // arrival was never dispatched (feed bug) — drop
+			}
+			delete(cs.owner, op.Req.Name)
+			cs.load[ci]--
+			c := cs.cells[ci]
+			name := op.Req.Name
+			c.System().K.ScheduleAt(end, func() { c.Depart(name) })
+			cs.Dispatches = append(cs.Dispatches, Dispatch{At: end, Cell: cs.names[ci], Name: name, Depart: true})
+			continue
+		}
+		ci := 0
+		for j := 1; j < len(cs.load); j++ {
+			if cs.load[j] < cs.load[ci] {
+				ci = j
+			}
+		}
+		cs.owner[op.Req.Name] = ci
+		cs.load[ci]++
+		c := cs.cells[ci]
+		req := op.Req
+		c.System().K.ScheduleAt(end, func() { c.Submit(req) })
+		cs.Dispatches = append(cs.Dispatches, Dispatch{At: end, Cell: cs.names[ci], Name: req.Name})
+	}
+}
+
+// MergedEvents renders the fleet-wide event log, merged deterministically by
+// (time, cell index, per-cell order) and prefixed with the cell name.
+func (cs *Cells) MergedEvents() []string {
+	type tagged struct {
+		at   sim.Time
+		cell int
+		seq  int
+		line string
+	}
+	var all []tagged
+	for ci, c := range cs.cells {
+		for si, e := range c.Events() {
+			all = append(all, tagged{e.At, ci, si, cs.names[ci] + " " + FormatEvent(e)})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].at != all[b].at {
+			return all[a].at < all[b].at
+		}
+		if all[a].cell != all[b].cell {
+			return all[a].cell < all[b].cell
+		}
+		return all[a].seq < all[b].seq
+	})
+	lines := make([]string, len(all))
+	for i, tg := range all {
+		lines[i] = tg.line
+	}
+	return lines
+}

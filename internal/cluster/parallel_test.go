@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+// cellSpecs builds n identical two-chain cells on the shared test fixture.
+func cellSpecs(n int) []CellSpec {
+	specs := make([]CellSpec, n)
+	for i := range specs {
+		specs[i] = CellSpec{
+			Name: fmt.Sprintf("cell%d", i),
+			Config: testConfig([]ChainSpec{
+				{Name: "c0", AccelCost: 1, ReserveSlots: 4},
+				{Name: "c1", AccelCost: 1, ReserveSlots: 4},
+			}),
+		}
+	}
+	return specs
+}
+
+// cellsProfile is a moderate open-loop load: steady background churn plus a
+// flash crowd, enough to exercise placement, rejection and departures across
+// the cells.
+var cellsProfile = Profile{
+	Seed:          0x5eed,
+	Start:         1_000,
+	End:           60_000,
+	MeanSpacing:   2_500,
+	MinLifetime:   15_000,
+	MeanLifetime:  30_000,
+	Periods:       []int64{75, 150, 300},
+	Priorities:    []int{0, 1, 2},
+	FlashAt:       25_000,
+	FlashCount:    6,
+	FlashSpacing:  40,
+	FlashPeriod:   150,
+	FlashLifetime: 20_000,
+}
+
+func runCellsScenario(t *testing.T, parallel bool, horizon sim.Time) *Cells {
+	t.Helper()
+	cs, err := NewCells(2_000, cellSpecs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetParallel(parallel)
+	cs.Feed(cellsProfile.Ops())
+	cs.Run(horizon)
+	return cs
+}
+
+// TestCellsParallelMatchesSequential is the parallel-chain determinism
+// acceptance test: the goroutine-per-cell schedule must produce the
+// byte-identical fleet history — dispatch log, merged event log, per-cell
+// stream and chain statuses — as the sequential schedule.
+func TestCellsParallelMatchesSequential(t *testing.T) {
+	const horizon = 120_000
+	seq := runCellsScenario(t, false, horizon)
+	par := runCellsScenario(t, true, horizon)
+
+	if len(seq.Dispatches) == 0 {
+		t.Fatal("no dispatches — scenario exercised nothing")
+	}
+	if len(seq.Dispatches) != len(par.Dispatches) {
+		t.Fatalf("dispatch count %d vs %d", len(seq.Dispatches), len(par.Dispatches))
+	}
+	for i := range seq.Dispatches {
+		if seq.Dispatches[i] != par.Dispatches[i] {
+			t.Fatalf("dispatch %d: %+v vs %+v", i, seq.Dispatches[i], par.Dispatches[i])
+		}
+	}
+
+	se, pe := seq.MergedEvents(), par.MergedEvents()
+	if len(se) != len(pe) {
+		t.Fatalf("merged event log %d vs %d lines", len(se), len(pe))
+	}
+	for i := range se {
+		if se[i] != pe[i] {
+			t.Fatalf("event %d:\n  seq: %s\n  par: %s", i, se[i], pe[i])
+		}
+	}
+
+	for ci := 0; ci < seq.CellCount(); ci++ {
+		sc, pc := seq.Cell(ci), par.Cell(ci)
+		ss, ps := sc.StreamStatuses(), pc.StreamStatuses()
+		if len(ss) != len(ps) {
+			t.Fatalf("cell %d: stream statuses %d vs %d", ci, len(ss), len(ps))
+		}
+		for i := range ss {
+			if ss[i] != ps[i] {
+				t.Fatalf("cell %d stream %d: %+v vs %+v", ci, i, ss[i], ps[i])
+			}
+		}
+		sch, pch := sc.ChainStatuses(), pc.ChainStatuses()
+		for i := range sch {
+			if sch[i] != pch[i] {
+				t.Fatalf("cell %d chain %d: %+v vs %+v", ci, i, sch[i], pch[i])
+			}
+		}
+		if sc.System().K.Now() != pc.System().K.Now() {
+			t.Fatalf("cell %d clock: %d vs %d", ci, sc.System().K.Now(), pc.System().K.Now())
+		}
+	}
+}
+
+// TestCellsRunResumes checks that successive Run calls continue the same
+// lockstep schedule (clocks stay aligned across barrier re-entry).
+func TestCellsRunResumes(t *testing.T) {
+	one, err := NewCells(2_000, cellSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Feed(cellsProfile.Ops())
+	one.Run(80_000)
+
+	two, err := NewCells(2_000, cellSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two.Feed(cellsProfile.Ops())
+	two.Run(30_000)
+	two.Run(80_000)
+
+	oe, te := one.MergedEvents(), two.MergedEvents()
+	if len(oe) != len(te) {
+		t.Fatalf("split run diverged: %d vs %d events", len(oe), len(te))
+	}
+	for i := range oe {
+		if oe[i] != te[i] {
+			t.Fatalf("event %d:\n  one-shot: %s\n  split:    %s", i, oe[i], te[i])
+		}
+	}
+}

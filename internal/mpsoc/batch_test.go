@@ -1,0 +1,196 @@
+package mpsoc
+
+import (
+	"testing"
+
+	"accelshare/internal/accel"
+	"accelshare/internal/gateway"
+	"accelshare/internal/sim"
+)
+
+// batchPlatform builds the equivalence workload: two streams sharing one
+// chain, value-exact recovery (so the staged exit path — the gateway's
+// batched transport — is exercised on every block), full tracing on.
+func batchPlatform(t *testing.T, batch bool) *System {
+	t.Helper()
+	mk := func(name string) StreamSpec {
+		return StreamSpec{
+			Name:           name,
+			Block:          8,
+			Decimation:     1,
+			Reconfig:       40,
+			InCapacity:     32,
+			OutCapacity:    32,
+			Engines:        []accel.Engine{&accel.Gain{Shift: 1}, &accel.Gain{Shift: 2}},
+			TotalInputs:    96,
+			CollectOutputs: true,
+			BatchIO:        batch,
+		}
+	}
+	cfg := Config{
+		Name:              "batch",
+		HopLatency:        1,
+		EntryCost:         4,
+		ExitCost:          1,
+		Mode:              gateway.ReconfigFixed,
+		RecordOutputTimes: true,
+		RecordActivity:    true,
+		RecordTurnarounds: true,
+		Recovery:          gateway.Recovery{ValueExact: true},
+		BatchTransport:    batch,
+		Accels: []AccelSpec{
+			{Name: "g0", Cost: 2, NICapacity: 2},
+			{Name: "g1", Cost: 3, NICapacity: 2},
+		},
+		Streams: []StreamSpec{mk("a"), mk("b")},
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestBatchTransportEquivalence proves the batched block-transport paths —
+// gateway burst stage-commit (Config.BatchTransport), C-FIFO burst reads
+// with coalesced read-counter updates (StreamSpec.BatchIO) — leave the
+// observable model byte-identical to per-sample transport: same outputs,
+// same per-word timestamps, same Queue Pushed/Popped counters on every NI,
+// same activity trace and block turnarounds. Only the ack message count may
+// shrink.
+func TestBatchTransportEquivalence(t *testing.T) {
+	const horizon = 200_000
+	plain := batchPlatform(t, false)
+	plain.Run(horizon)
+	batched := batchPlatform(t, true)
+	batched.Run(horizon)
+
+	// Outputs: same words, collected at the same instants.
+	for i := range plain.Strs {
+		ps, bs := plain.Strs[i], batched.Strs[i]
+		if len(ps.Outputs) != len(bs.Outputs) {
+			t.Fatalf("stream %d: outputs %d vs %d", i, len(ps.Outputs), len(bs.Outputs))
+		}
+		for j := range ps.Outputs {
+			if ps.Outputs[j] != bs.Outputs[j] {
+				t.Fatalf("stream %d output %d: %d vs %d", i, j, ps.Outputs[j], bs.Outputs[j])
+			}
+		}
+		if ps.FirstOutputAt != bs.FirstOutputAt || ps.LastOutputAt != bs.LastOutputAt {
+			t.Fatalf("stream %d: sink window (%d,%d) vs (%d,%d)", i,
+				ps.FirstOutputAt, ps.LastOutputAt, bs.FirstOutputAt, bs.LastOutputAt)
+		}
+		// Per-word exit commit instants.
+		pg, bg := plain.Pair.Streams()[i], batched.Pair.Streams()[i]
+		if len(pg.OutTimes) != len(bg.OutTimes) {
+			t.Fatalf("stream %d: OutTimes %d vs %d", i, len(pg.OutTimes), len(bg.OutTimes))
+		}
+		for j := range pg.OutTimes {
+			if pg.OutTimes[j] != bg.OutTimes[j] {
+				t.Fatalf("stream %d OutTimes[%d]: %d vs %d", i, j, pg.OutTimes[j], bg.OutTimes[j])
+			}
+		}
+		// Block turnaround trace.
+		if len(pg.Turnarounds) != len(bg.Turnarounds) {
+			t.Fatalf("stream %d: turnarounds %d vs %d", i, len(pg.Turnarounds), len(bg.Turnarounds))
+		}
+		for j := range pg.Turnarounds {
+			if pg.Turnarounds[j] != bg.Turnarounds[j] {
+				t.Fatalf("stream %d turnaround %d: %+v vs %+v", i, j, pg.Turnarounds[j], bg.Turnarounds[j])
+			}
+		}
+		// C-FIFO buffer counters, both directions.
+		pp, pq, pm := ps.In.BufferStats()
+		bp, bq, bm := bs.In.BufferStats()
+		if pp != bp || pq != bq || pm != bm {
+			t.Fatalf("stream %d in-FIFO stats: (%d,%d,%d) vs (%d,%d,%d)", i, pp, pq, pm, bp, bq, bm)
+		}
+		pp, pq, pm = ps.Out.BufferStats()
+		bp, bq, bm = bs.Out.BufferStats()
+		if pp != bp || pq != bq || pm != bm {
+			t.Fatalf("stream %d out-FIFO stats: (%d,%d,%d) vs (%d,%d,%d)", i, pp, pq, pm, bp, bq, bm)
+		}
+		if bs.Out.AckMessages > ps.Out.AckMessages {
+			t.Fatalf("stream %d: batched run sent MORE acks (%d > %d)", i,
+				bs.Out.AckMessages, ps.Out.AckMessages)
+		}
+	}
+
+	// Tile NI queues: every word crossed at the same per-word granularity.
+	for i := range plain.Tiles {
+		pq, bq := plain.Tiles[i].In(), batched.Tiles[i].In()
+		if pq.Pushed != bq.Pushed || pq.Popped != bq.Popped || pq.MaxOccupancy != bq.MaxOccupancy {
+			t.Fatalf("tile %d NI: (%d,%d,%d) vs (%d,%d,%d)", i,
+				pq.Pushed, pq.Popped, pq.MaxOccupancy, bq.Pushed, bq.Popped, bq.MaxOccupancy)
+		}
+	}
+
+	// Activity trace (reconfig/stream/drain spans) byte-identical.
+	pa, ba := plain.Pair.Activities, batched.Pair.Activities
+	if len(pa) != len(ba) {
+		t.Fatalf("activity trace length %d vs %d", len(pa), len(ba))
+	}
+	for i := range pa {
+		if pa[i] != ba[i] {
+			t.Fatalf("activity %d: %+v vs %+v", i, pa[i], ba[i])
+		}
+	}
+
+	// Aggregate report equality.
+	pr, br := plain.Report(), batched.Report()
+	if pr.Cycles != br.Cycles || pr.ReconfigCycles != br.ReconfigCycles || pr.StreamingCycles != br.StreamingCycles {
+		t.Fatalf("report cycles: %+v vs %+v", pr, br)
+	}
+	for i := range pr.PerStream {
+		if pr.PerStream[i] != br.PerStream[i] {
+			t.Fatalf("stream report %d: %+v vs %+v", i, pr.PerStream[i], br.PerStream[i])
+		}
+	}
+
+	// The batching must actually batch: with per-word out-FIFO acks the plain
+	// run sends one ack message per output word; the batched run must send
+	// strictly fewer (whole drain bursts collapse to one update).
+	var plainAcks, batchAcks uint64
+	for i := range plain.Strs {
+		plainAcks += plain.Strs[i].Out.AckMessages
+		batchAcks += batched.Strs[i].Out.AckMessages
+	}
+	if batchAcks >= plainAcks {
+		t.Fatalf("acks not batched: batched=%d plain=%d", batchAcks, plainAcks)
+	}
+}
+
+// TestQueueBurstCountersMatchPerWord pins the sim.Queue burst ops to the
+// per-word semantics at the counter level.
+func TestQueueBurstCountersMatchPerWord(t *testing.T) {
+	a := sim.NewQueue("a", 8)
+	b := sim.NewQueue("b", 8)
+	ws := []sim.Word{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	n := 0
+	for _, w := range ws {
+		if !a.TryPush(w) {
+			break
+		}
+		n++
+	}
+	if got := b.PushBurst(ws); got != n {
+		t.Fatalf("PushBurst = %d, want %d", got, n)
+	}
+	if a.Pushed != b.Pushed || a.Len() != b.Len() || a.MaxOccupancy != b.MaxOccupancy {
+		t.Fatalf("push counters diverge: %d/%d vs %d/%d", a.Pushed, a.Len(), b.Pushed, b.Len())
+	}
+	var dst [16]sim.Word
+	m := b.PopBurst(dst[:])
+	if m != n {
+		t.Fatalf("PopBurst = %d, want %d", m, n)
+	}
+	for i := 0; i < m; i++ {
+		v, ok := a.TryPop()
+		if !ok || v != dst[i] {
+			t.Fatalf("pop %d: %d vs %d", i, v, dst[i])
+		}
+	}
+	if a.Popped != b.Popped {
+		t.Fatalf("pop counters diverge: %d vs %d", a.Popped, b.Popped)
+	}
+}

@@ -1,0 +1,317 @@
+package sim
+
+import "math/bits"
+
+// The event scheduler is a single-level timing wheel (a calendar queue with
+// cycle granularity) backed by an overflow heap:
+//
+//   - Events within wheelSize cycles of the clock live in a circular array of
+//     wheelSize slots, indexed by (at & wheelMask). Each slot is an intrusive
+//     singly-linked FIFO list; because inserts always happen with base == now
+//     (see cascade) and the window is exactly one wheel revolution, every
+//     event in a given slot carries the *same* absolute time, so tail-append
+//     preserves the (time, seq) total order without any comparison.
+//   - Events at or beyond now+wheelSize wait in a typed min-heap ordered by
+//     (at, seq) — no interface boxing — and migrate into the wheel as the
+//     clock approaches them (cascade). Migration pops in (at, seq) order and
+//     tail-appends, so merged slots stay seq-sorted.
+//   - Fired event records are recycled through an intrusive free list; the
+//     steady-state Schedule/Step cycle allocates nothing (proved by
+//     TestKernelZeroAlloc with testing.AllocsPerRun).
+//
+// A per-slot occupancy bitmap lets Step find the next nonempty slot with a
+// handful of word scans (math/bits.TrailingZeros64) instead of walking 4096
+// slots. The semantics — including the "scheduling into the past" panic and
+// Run's horizon clamp — are identical to the reference heap implementation in
+// kernel_ref.go; TestKernelDifferential and FuzzKernelSchedule enforce that.
+
+const (
+	wheelBits  = 12
+	wheelSize  = 1 << wheelBits // cycles covered by the near-term wheel
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64 // occupancy bitmap words
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	next *event
+}
+
+type slot struct {
+	head, tail *event
+}
+
+// Kernel owns the clock and the event queue.
+type Kernel struct {
+	now Time
+	seq uint64
+	// live counts scheduled-but-unfired events.
+	live int
+	// slots[t & wheelMask] holds events with at in [now, now+wheelSize).
+	slots []slot
+	// occupied has bit s set iff slots[s] is nonempty.
+	occupied []uint64
+	// overflow is a min-heap on (at, seq) of events beyond the wheel window.
+	overflow []*event
+	// free is the recycled-event list (intrusive via event.next).
+	free *event
+	// Processed counts executed events (for budget checks in tests).
+	Processed uint64
+}
+
+// NewKernel returns a kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay cycles (delay 0 = later in the same cycle).
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t (panics when t is in the past —
+// that is always a component bug).
+func (k *Kernel) ScheduleAt(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling into the past")
+	}
+	if k.slots == nil {
+		k.slots = make([]slot, wheelSize)
+		k.occupied = make([]uint64, wheelWords)
+	}
+	// Migrate matured overflow events first so that a same-time event already
+	// waiting in the overflow heap (necessarily older, hence smaller seq)
+	// lands in the slot ahead of the one being scheduled now.
+	k.cascade()
+	k.seq++
+	e := k.alloc()
+	e.at, e.seq, e.fn = t, k.seq, fn
+	k.live++
+	if t-k.now < wheelSize {
+		k.pushSlot(e)
+	} else {
+		k.pushOverflow(e)
+	}
+}
+
+// Pending reports whether any events remain.
+func (k *Kernel) Pending() bool { return k.live > 0 }
+
+// Step executes the next event; it reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	e := k.popNext()
+	if e == nil {
+		return false
+	}
+	k.now = e.at
+	k.Processed++
+	fn := e.fn
+	// Recycle before invoking fn: a callback that reschedules itself (the
+	// dominant pattern — tile service, DMA ticks, source periods) reuses this
+	// record immediately instead of growing the pool.
+	k.recycle(e)
+	fn()
+	return true
+}
+
+// Run processes events until the queue is empty or the next event lies
+// beyond `until`; the clock ends at min(until, last event time). Returns
+// the final time.
+func (k *Kernel) Run(until Time) Time {
+	for {
+		t, ok := k.peek()
+		if !ok || t > until {
+			break
+		}
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll processes every event. Componentized models that reschedule
+// themselves forever must use Run with a horizon instead.
+func (k *Kernel) RunAll() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil processes events until cond returns true (checked after every
+// event), the queue drains, or the horizon passes. It returns true when
+// cond was met — the idiom for driving a simulation to an asynchronous
+// milestone (a mode transition completing, a verdict landing) without
+// guessing its wall-clock time.
+func (k *Kernel) RunUntil(until Time, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for {
+		t, ok := k.peek()
+		if !ok || t > until {
+			return false
+		}
+		k.Step()
+		if cond() {
+			return true
+		}
+	}
+}
+
+// NextEventTime reports the time of the earliest pending event. It is the
+// lookahead hook the parallel Group runner uses to prove a kernel cannot
+// produce work inside a window.
+func (k *Kernel) NextEventTime() (Time, bool) { return k.peek() }
+
+// --- wheel internals ---
+
+// alloc takes an event record from the free list, or allocates one when the
+// pool is empty (cold start / high-water growth only).
+func (k *Kernel) alloc() *event {
+	if e := k.free; e != nil {
+		k.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// recycle clears a fired record and pushes it onto the free list.
+func (k *Kernel) recycle(e *event) {
+	e.fn = nil
+	e.next = k.free
+	k.free = e
+}
+
+// cascade migrates overflow events whose time has entered the wheel window.
+// It must run before any slot insert and before any wheel scan: the wheel
+// invariant is that every resident event satisfies at - now < wheelSize, so
+// slot index (at & wheelMask) is unambiguous and slot lists are FIFO-by-seq.
+// Pops come off the heap in (at, seq) order, so tail-appending keeps every
+// slot sorted even when it merges migrants with residents.
+func (k *Kernel) cascade() {
+	for len(k.overflow) > 0 && k.overflow[0].at-k.now < wheelSize {
+		k.pushSlot(k.popOverflow())
+	}
+}
+
+func (k *Kernel) pushSlot(e *event) {
+	s := int(e.at) & wheelMask
+	sl := &k.slots[s]
+	if sl.head == nil {
+		sl.head = e
+		k.occupied[s>>6] |= 1 << uint(s&63)
+	} else {
+		sl.tail.next = e
+	}
+	sl.tail = e
+}
+
+// scanWheel finds the slot of the earliest wheel event, scanning the
+// occupancy bitmap circularly from the slot of `now`. Because every resident
+// event is within one revolution of now, circular distance from now's slot
+// equals temporal distance.
+func (k *Kernel) scanWheel() (int, bool) {
+	s0 := int(k.now) & wheelMask
+	w0 := s0 >> 6
+	off := uint(s0 & 63)
+	if v := k.occupied[w0] >> off; v != 0 {
+		return s0 + bits.TrailingZeros64(v), true
+	}
+	for i := 1; i <= wheelWords; i++ {
+		w := (w0 + i) & (wheelWords - 1)
+		if v := k.occupied[w]; v != 0 {
+			return w<<6 + bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, false
+}
+
+// peek returns the earliest pending event time without removing it.
+func (k *Kernel) peek() (Time, bool) {
+	if k.live == 0 {
+		return 0, false
+	}
+	k.cascade()
+	if s, ok := k.scanWheel(); ok {
+		s0 := int(k.now) & wheelMask
+		return k.now + Time((s-s0)&wheelMask), true
+	}
+	return k.overflow[0].at, true
+}
+
+// popNext removes and returns the earliest pending event (nil when empty).
+// After cascade, every overflow event is at least a full wheel revolution
+// away, so any wheel resident beats the overflow top.
+func (k *Kernel) popNext() *event {
+	if k.live == 0 {
+		return nil
+	}
+	k.live--
+	k.cascade()
+	if s, ok := k.scanWheel(); ok {
+		sl := &k.slots[s]
+		e := sl.head
+		sl.head = e.next
+		if sl.head == nil {
+			sl.tail = nil
+			k.occupied[s>>6] &^= 1 << uint(s&63)
+		}
+		e.next = nil
+		return e
+	}
+	return k.popOverflow()
+}
+
+// --- overflow heap (typed, no boxing) ---
+
+func overflowLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) pushOverflow(e *event) {
+	k.overflow = append(k.overflow, e)
+	i := len(k.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !overflowLess(k.overflow[i], k.overflow[parent]) {
+			break
+		}
+		k.overflow[i], k.overflow[parent] = k.overflow[parent], k.overflow[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) popOverflow() *event {
+	h := k.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	k.overflow = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && overflowLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && overflowLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+// Differential harness: the timing-wheel Kernel and the reference heapKernel
+// run identical Schedule/ScheduleAt/Step/Run/RunUntil scripts and must agree
+// on the firing order, firing times, clock and queue state at every step —
+// including same-time FIFO-by-seq ordering, delay-0 self-reschedules, wheel
+// boundary delays and horizon clamps.
+
+// schedKernel is the scheduling surface shared by Kernel and heapKernel.
+type schedKernel interface {
+	Now() Time
+	Schedule(Time, func())
+	ScheduleAt(Time, func())
+	Pending() bool
+	Step() bool
+	Run(Time) Time
+	RunAll() Time
+	RunUntil(Time, func() bool) bool
+	NextEventTime() (Time, bool)
+}
+
+type firing struct {
+	at Time
+	id int
+}
+
+// diffDriver applies a script to one kernel and logs every firing.
+type diffDriver struct {
+	k   schedKernel
+	log []firing
+}
+
+// hook returns a callback that logs (now, id) and, for chain > 0, reschedules
+// itself chain more times at the given delay (delay 0 exercises same-cycle
+// self-reschedules through the recycled event record).
+func (d *diffDriver) hook(id, chain int, delay Time) func() {
+	var fn func()
+	fn = func() {
+		d.log = append(d.log, firing{d.k.Now(), id})
+		if chain > 0 {
+			chain--
+			id += 1 << 20
+			d.k.Schedule(delay, fn)
+		}
+	}
+	return fn
+}
+
+// diffRand is a self-contained xorshift64 so scripts are reproducible from a
+// seed without importing math/rand.
+type diffRand uint64
+
+func (r *diffRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = diffRand(x)
+	return x
+}
+
+// diffDelays mixes the interesting regimes: delta cycles, short wheel
+// residence, the exact wheel-window boundary and deep overflow times.
+var diffDelays = []Time{0, 1, 1, 2, 3, 7, 64, 1000, wheelSize - 1, wheelSize, wheelSize + 1, 3 * wheelSize, 100000}
+
+func diffCompare(t *testing.T, op int, w, h *diffDriver) {
+	t.Helper()
+	if w.k.Now() != h.k.Now() {
+		t.Fatalf("op %d: now wheel=%d heap=%d", op, w.k.Now(), h.k.Now())
+	}
+	if w.k.Pending() != h.k.Pending() {
+		t.Fatalf("op %d: pending wheel=%v heap=%v", op, w.k.Pending(), h.k.Pending())
+	}
+	tw, okw := w.k.NextEventTime()
+	th, okh := h.k.NextEventTime()
+	if okw != okh || tw != th {
+		t.Fatalf("op %d: next event wheel=(%d,%v) heap=(%d,%v)", op, tw, okw, th, okh)
+	}
+	if len(w.log) != len(h.log) {
+		t.Fatalf("op %d: fired wheel=%d heap=%d events", op, len(w.log), len(h.log))
+	}
+	for j := range w.log {
+		if w.log[j] != h.log[j] {
+			t.Fatalf("op %d: firing %d diverged: wheel=%+v heap=%+v", op, j, w.log[j], h.log[j])
+		}
+	}
+}
+
+func runDiffScript(t *testing.T, seed uint64, ops int) {
+	t.Helper()
+	w := &diffDriver{k: NewKernel()}
+	h := &diffDriver{k: newHeapKernel()}
+	r := diffRand(seed | 1)
+	id := 0
+	for i := 0; i < ops; i++ {
+		switch op := r.next() % 10; {
+		case op < 3: // relative schedule across all delay regimes
+			d := diffDelays[r.next()%uint64(len(diffDelays))]
+			id++
+			w.k.Schedule(d, w.hook(id, 0, 0))
+			h.k.Schedule(d, h.hook(id, 0, 0))
+		case op == 3: // same-time burst: FIFO-by-seq within one slot
+			d := diffDelays[r.next()%uint64(len(diffDelays))]
+			for j := 0; j < 3; j++ {
+				id++
+				w.k.Schedule(d, w.hook(id, 0, 0))
+				h.k.Schedule(d, h.hook(id, 0, 0))
+			}
+		case op == 4: // absolute schedule
+			off := r.next() % (4 * wheelSize)
+			id++
+			w.k.ScheduleAt(w.k.Now()+off, w.hook(id, 0, 0))
+			h.k.ScheduleAt(h.k.Now()+off, h.hook(id, 0, 0))
+		case op == 5: // cascading self-reschedule chain
+			d := diffDelays[r.next()%uint64(len(diffDelays))]
+			n := int(r.next() % 4)
+			id++
+			w.k.Schedule(d, w.hook(id, n, d))
+			h.k.Schedule(d, h.hook(id, n, d))
+		case op == 6:
+			if sw, sh := w.k.Step(), h.k.Step(); sw != sh {
+				t.Fatalf("op %d: Step wheel=%v heap=%v", i, sw, sh)
+			}
+		case op == 7: // horizon run, including exact wheel-boundary horizons
+			hor := w.k.Now() + diffDelays[r.next()%uint64(len(diffDelays))]
+			if tw, th := w.k.Run(hor), h.k.Run(hor); tw != th {
+				t.Fatalf("op %d: Run(%d) wheel=%d heap=%d", i, hor, tw, th)
+			}
+		case op == 8: // milestone run: stop after a firing-count target
+			target := len(w.log) + int(r.next()%5)
+			hor := w.k.Now() + r.next()%5000
+			cw := w.k.RunUntil(hor, func() bool { return len(w.log) >= target })
+			ch := h.k.RunUntil(hor, func() bool { return len(h.log) >= target })
+			if cw != ch {
+				t.Fatalf("op %d: RunUntil wheel=%v heap=%v", i, cw, ch)
+			}
+		default: // drain a few
+			for j := 0; j < 8; j++ {
+				w.k.Step()
+				h.k.Step()
+			}
+		}
+		diffCompare(t, i, w, h)
+	}
+	w.k.RunAll()
+	h.k.RunAll()
+	diffCompare(t, ops, w, h)
+}
+
+func TestKernelDifferential(t *testing.T) {
+	ops := 1500
+	seeds := 20
+	if testing.Short() {
+		ops, seeds = 400, 6
+	}
+	for s := 0; s < seeds; s++ {
+		seed := uint64(s)*0x9e3779b97f4a7c15 + 1
+		t.Run("", func(t *testing.T) { runDiffScript(t, seed, ops) })
+	}
+}
+
+// TestKernelDifferentialDeep is one long soak so the wheel wraps many times
+// and overflow cascades interleave with fresh schedules.
+func TestKernelDifferentialDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential soak")
+	}
+	runDiffScript(t, 0xabcdef123456789, 20000)
+}

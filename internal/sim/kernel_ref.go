@@ -1,0 +1,105 @@
+package sim
+
+import "container/heap"
+
+// heapKernel is the original container/heap event scheduler, kept verbatim
+// as the in-package reference implementation for the differential and fuzz
+// harnesses (TestKernelDifferential, FuzzKernelSchedule): the timing-wheel
+// Kernel must reproduce its firing order, times and clock at every step. It
+// is deliberately not exported — production code always uses Kernel.
+type heapKernel struct {
+	now       Time
+	seq       uint64
+	events    refEventHeap
+	Processed uint64
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refEventHeap []refEvent
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refEventHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newHeapKernel() *heapKernel { return &heapKernel{} }
+
+func (k *heapKernel) Now() Time { return k.now }
+
+func (k *heapKernel) Schedule(delay Time, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+func (k *heapKernel) ScheduleAt(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling into the past")
+	}
+	k.seq++
+	heap.Push(&k.events, refEvent{at: t, seq: k.seq, fn: fn})
+}
+
+func (k *heapKernel) Pending() bool { return len(k.events) > 0 }
+
+func (k *heapKernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(refEvent)
+	k.now = e.at
+	k.Processed++
+	e.fn()
+	return true
+}
+
+func (k *heapKernel) Run(until Time) Time {
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return k.now
+}
+
+func (k *heapKernel) RunAll() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+func (k *heapKernel) RunUntil(until Time, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+		if cond() {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *heapKernel) NextEventTime() (Time, bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
+}

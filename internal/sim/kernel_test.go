@@ -1,0 +1,141 @@
+package sim
+
+import "testing"
+
+// Wheel-specific regression tests: window boundaries, overflow cascades,
+// horizon clamps interacting with the base≤now invariant, and the zero-alloc
+// guarantees of the pooled event path.
+
+func TestKernelWheelBoundaryDelays(t *testing.T) {
+	k := NewKernel()
+	var order []Time
+	rec := func() { order = append(order, k.Now()) }
+	// One event either side of the wheel window plus the exact boundary.
+	k.Schedule(wheelSize+1, rec)
+	k.Schedule(wheelSize, rec)
+	k.Schedule(wheelSize-1, rec)
+	k.RunAll()
+	want := []Time{wheelSize - 1, wheelSize, wheelSize + 1}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestKernelOverflowSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var ids []int
+	at := Time(2 * wheelSize)
+	// First two go to overflow; advancing the clock cascades them into the
+	// wheel, where a third same-time event is then scheduled behind them.
+	k.ScheduleAt(at, func() { ids = append(ids, 1) })
+	k.ScheduleAt(at, func() { ids = append(ids, 2) })
+	k.Run(at - 10)
+	k.ScheduleAt(at, func() { ids = append(ids, 3) })
+	k.RunAll()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("ids = %v, want [1 2 3] (seq FIFO across overflow cascade)", ids)
+	}
+	if k.Now() != at {
+		t.Errorf("now = %d, want %d", k.Now(), at)
+	}
+}
+
+func TestKernelHorizonClampThenShortDelay(t *testing.T) {
+	// Run clamps the clock to the horizon while a far event stays pending;
+	// scheduling a short delay afterwards must fire before the far event
+	// even though the clock jumped deep into the wheel's previous window.
+	k := NewKernel()
+	var order []int
+	k.Schedule(10*wheelSize, func() { order = append(order, 2) })
+	k.Run(5 * wheelSize)
+	if k.Now() != 5*wheelSize {
+		t.Fatalf("now = %d, want clamp at %d", k.Now(), 5*wheelSize)
+	}
+	k.Schedule(3, func() { order = append(order, 1) })
+	k.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestKernelNextEventTime(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty kernel reported a next event")
+	}
+	k.Schedule(2*wheelSize, func() {})
+	if at, ok := k.NextEventTime(); !ok || at != 2*wheelSize {
+		t.Fatalf("next = %d,%v want %d,true", at, ok, 2*wheelSize)
+	}
+	k.Schedule(7, func() {})
+	if at, ok := k.NextEventTime(); !ok || at != 7 {
+		t.Fatalf("next = %d,%v want 7,true", at, ok)
+	}
+}
+
+func TestKernelZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	k.Schedule(1, fn) // cold start: wheel arrays + first event record
+	k.Step()
+	if a := testing.AllocsPerRun(500, func() {
+		k.Schedule(3, fn)
+		k.Step()
+	}); a != 0 {
+		t.Fatalf("steady-state Schedule/Step allocates %v/op, want 0", a)
+	}
+}
+
+func TestKernelZeroAllocSelfReschedule(t *testing.T) {
+	k := NewKernel()
+	remaining := 0
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			k.Schedule(1, tick)
+		}
+	}
+	var delta func()
+	delta = func() {
+		if remaining > 0 {
+			remaining--
+			k.Schedule(0, delta)
+		}
+	}
+	k.Schedule(1, tick)
+	k.RunAll() // warm the pool and wheel
+	if a := testing.AllocsPerRun(100, func() {
+		remaining = 64
+		k.Schedule(1, tick)
+		k.RunAll()
+	}); a != 0 {
+		t.Fatalf("timer-tick chain allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		remaining = 64
+		k.Schedule(0, delta)
+		k.RunAll()
+	}); a != 0 {
+		t.Fatalf("delta-cycle chain allocates %v/op, want 0", a)
+	}
+}
+
+func TestKernelZeroAllocPooledBurst(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Prime the free list to the burst high-water mark, then repeated
+	// burst/drain rounds must reuse the pooled records exclusively.
+	for i := 0; i < 256; i++ {
+		k.Schedule(Time(i%97), fn)
+	}
+	k.RunAll()
+	if a := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			k.Schedule(Time(i%97), fn)
+		}
+		k.RunAll()
+	}); a != 0 {
+		t.Fatalf("pooled burst allocates %v/op, want 0", a)
+	}
+}

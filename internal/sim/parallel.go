@@ -1,0 +1,82 @@
+package sim
+
+import "sync"
+
+// Group advances several fully independent kernels in lockstep quantum
+// windows, one goroutine per kernel within a window.
+//
+// Determinism argument: each kernel owns a disjoint component graph, so the
+// events of one kernel never read or write another cell's state — goroutine
+// interleaving inside a window cannot be observed. Cross-kernel interaction
+// happens only in the barrier hook, which runs single-threaded after every
+// kernel has reached the window end and may only schedule work at or beyond
+// that boundary (earlier times hit the kernels' scheduling-into-the-past
+// panic, because every clock already advanced to the boundary). The parallel
+// schedule is therefore byte-identical to the sequential one — pinned by
+// TestGroupParallelMatchesSequential and the cluster cells determinism test.
+type Group struct {
+	kernels  []*Kernel
+	quantum  Time
+	barrier  func(windowEnd Time)
+	parallel bool
+}
+
+// NewGroup builds a lockstep runner over the given kernels. The quantum is
+// the synchronisation window: smaller quanta mean more frequent cross-cell
+// exchange, larger quanta mean less barrier overhead.
+func NewGroup(quantum Time, kernels ...*Kernel) *Group {
+	if quantum == 0 {
+		panic("sim: group quantum must be positive")
+	}
+	return &Group{kernels: kernels, quantum: quantum, parallel: true}
+}
+
+// SetBarrier installs the single-threaded hook run after every window; it
+// may inspect any cell and schedule events at times >= windowEnd on any
+// kernel.
+func (g *Group) SetBarrier(fn func(windowEnd Time)) { g.barrier = fn }
+
+// SetParallel toggles goroutine fan-out; sequential mode exists so tests can
+// prove the parallel schedule equals the sequential one.
+func (g *Group) SetParallel(p bool) { g.parallel = p }
+
+// Kernels returns the member kernels in group order.
+func (g *Group) Kernels() []*Kernel { return g.kernels }
+
+// Run advances every kernel to the horizon in lockstep windows. All member
+// clocks must agree when Run is called (they do after any previous Run).
+func (g *Group) Run(horizon Time) {
+	if len(g.kernels) == 0 {
+		return
+	}
+	start := g.kernels[0].Now()
+	for _, k := range g.kernels[1:] {
+		if k.Now() != start {
+			panic("sim: group kernels misaligned")
+		}
+	}
+	for end := start; end < horizon; {
+		end += g.quantum
+		if end > horizon {
+			end = horizon
+		}
+		if g.parallel && len(g.kernels) > 1 {
+			var wg sync.WaitGroup
+			for _, k := range g.kernels {
+				wg.Add(1)
+				go func(k *Kernel) {
+					defer wg.Done()
+					k.Run(end)
+				}(k)
+			}
+			wg.Wait()
+		} else {
+			for _, k := range g.kernels {
+				k.Run(end)
+			}
+		}
+		if g.barrier != nil {
+			g.barrier(end)
+		}
+	}
+}

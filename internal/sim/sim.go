@@ -10,121 +10,13 @@
 // history, immune to Go's GC and scheduler (the repro band's main concern).
 package sim
 
-import "container/heap"
-
 // Time is the simulation clock in cycles.
 type Time = uint64
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// Kernel owns the clock and the event queue.
-type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	// Processed counts executed events (for budget checks in tests).
-	Processed uint64
-}
-
-// NewKernel returns a kernel at time zero.
-func NewKernel() *Kernel { return &Kernel{} }
-
-// Now returns the current simulation time.
-func (k *Kernel) Now() Time { return k.now }
-
-// Schedule runs fn after delay cycles (delay 0 = later in the same cycle).
-func (k *Kernel) Schedule(delay Time, fn func()) {
-	k.ScheduleAt(k.now+delay, fn)
-}
-
-// ScheduleAt runs fn at absolute time t (panics when t is in the past —
-// that is always a component bug).
-func (k *Kernel) ScheduleAt(t Time, fn func()) {
-	if t < k.now {
-		panic("sim: scheduling into the past")
-	}
-	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
-}
-
-// Pending reports whether any events remain.
-func (k *Kernel) Pending() bool { return len(k.events) > 0 }
-
-// Step executes the next event; it reports false when the queue is empty.
-func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
-		return false
-	}
-	e := heap.Pop(&k.events).(event)
-	k.now = e.at
-	k.Processed++
-	e.fn()
-	return true
-}
-
-// Run processes events until the queue is empty or the next event lies
-// beyond `until`; the clock ends at min(until, last event time). Returns
-// the final time.
-func (k *Kernel) Run(until Time) Time {
-	for len(k.events) > 0 && k.events[0].at <= until {
-		k.Step()
-	}
-	if k.now < until && len(k.events) > 0 {
-		k.now = until
-	} else if len(k.events) == 0 && k.now < until {
-		k.now = until
-	}
-	return k.now
-}
-
-// RunAll processes every event. Componentized models that reschedule
-// themselves forever must use Run with a horizon instead.
-func (k *Kernel) RunAll() Time {
-	for k.Step() {
-	}
-	return k.now
-}
-
-// RunUntil processes events until cond returns true (checked after every
-// event), the queue drains, or the horizon passes. It returns true when
-// cond was met — the idiom for driving a simulation to an asynchronous
-// milestone (a mode transition completing, a verdict landing) without
-// guessing its wall-clock time.
-func (k *Kernel) RunUntil(until Time, cond func() bool) bool {
-	if cond() {
-		return true
-	}
-	for len(k.events) > 0 && k.events[0].at <= until {
-		k.Step()
-		if cond() {
-			return true
-		}
-	}
-	return false
-}
+// The Kernel (clock + event scheduler) lives in kernel.go: a timing-wheel
+// scheduler with pooled zero-alloc event records. kernel_ref.go keeps the
+// original binary-heap scheduler as the reference implementation for the
+// differential and fuzz harnesses.
 
 // Waker coalesces wake-up requests for a component's step function: any
 // number of Wake calls within one delta-cycle collapse into a single
@@ -247,6 +139,36 @@ func (q *Queue) TryPop() (Word, bool) {
 		w.Wake()
 	}
 	return v, true
+}
+
+// PushBurst appends words until the queue fills, returning how many were
+// accepted. Counters and subscriber wake-ups are identical to calling
+// TryPush per word (wakers coalesce within the delta-cycle); the burst form
+// lets block transport move a whole block in one component step.
+func (q *Queue) PushBurst(ws []Word) int {
+	n := 0
+	for _, v := range ws {
+		if !q.TryPush(v) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// PopBurst fills dst with up to len(dst) words, returning the count popped.
+// Identical per-word semantics to TryPop in a loop.
+func (q *Queue) PopBurst(dst []Word) int {
+	n := 0
+	for i := range dst {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		dst[i] = v
+		n++
+	}
+	return n
 }
 
 // Clear discards every buffered word without waking subscribers or touching
