@@ -126,3 +126,53 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		t.Errorf("full soak reported conformance violations")
 	}
 }
+
+func TestServeGolden(t *testing.T) {
+	got := runTwice(t, "serve short", func(w *bytes.Buffer) error {
+		return serveCampaign(w, true, 24601)
+	})
+	checkGolden(t, "serve_short.golden", got)
+	if moves := bytes.Count(got, []byte("within-bound=true")); moves < 1 {
+		t.Errorf("serve short completed %d rebalance moves, want >= 1", moves)
+	}
+	for _, want := range []string{
+		"all rebalance moves within composed bound: true",
+		"every live stream contiguous (zero lost or duplicated samples): true",
+		"fleet conformance violations: 0",
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("serve short output missing %q", want)
+		}
+	}
+}
+
+// TestServeSoakGolden pins the full campaign: over a thousand admitted
+// background lifetimes, four diurnal cycles, a persistent flash crowd and
+// dozens of live migrations — the transcript is aggregated, so the golden
+// stays reviewable despite the ~2M-cycle horizon.
+func TestServeSoakGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full serving campaign twice")
+	}
+	got := runTwice(t, "serve soak", func(w *bytes.Buffer) error {
+		return serveCampaign(w, false, 24601)
+	})
+	checkGolden(t, "serve.golden", got)
+	if moves := bytes.Count(got, []byte("within-bound=true")); moves < 10 {
+		t.Errorf("full campaign completed %d rebalance moves, want >= 10", moves)
+	}
+	// The flash crowd must itself have been spread by the rebalancer: at
+	// least one f-stream appears in the move table.
+	if !bytes.Contains(got, []byte("f0")) {
+		t.Errorf("no flash-crowd stream was ever migrated")
+	}
+	for _, want := range []string{
+		"all rebalance moves within composed bound: true",
+		"every live stream contiguous (zero lost or duplicated samples): true",
+		"fleet conformance violations: 0",
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("full campaign output missing %q", want)
+		}
+	}
+}

@@ -310,6 +310,58 @@ func (c *Controller) Events() []Event { return c.events }
 // Model returns the controller's live temporal model (read-only).
 func (c *Controller) Model() *core.System { return c.model }
 
+// Busy reports whether a staged transition or canary probe is in flight:
+// the rebalancer skips a tick rather than queue moves behind a drain whose
+// outcome may invalidate the plan.
+func (c *Controller) Busy() bool { return c.busy || c.pendingCanary != nil }
+
+// Utilization returns the live model's exact utilisation Σ μs·ρ (a defensive
+// copy: callers compare and aggregate fleet-wide, the model keeps its own).
+func (c *Controller) Utilization() *big.Rat {
+	return new(big.Rat).Set(c.model.Utilization())
+}
+
+// UtilizationSnapshot is one controller's load picture at an instant — the
+// admission half of the fleet telemetry the rebalancer aggregates (buffer
+// occupancy comes from cfifo.BufferStats, queue depth from the cluster
+// registry).
+type UtilizationSnapshot struct {
+	// Utilization is Σ μs·ρ over the live streams, exact.
+	Utilization *big.Rat
+	// Streams counts the live (model) streams; Parked counts removed or
+	// quarantined streams whose slot is still recoverable via Readmit.
+	Streams, Parked int
+	// Busy mirrors Busy(): the snapshot was taken mid-transition, so the
+	// model may be about to change.
+	Busy bool
+}
+
+// Snapshot captures the controller's current load (see UtilizationSnapshot).
+func (c *Controller) Snapshot() UtilizationSnapshot {
+	return UtilizationSnapshot{
+		Utilization: c.Utilization(),
+		Streams:     len(c.model.Streams),
+		Parked:      len(c.parked),
+		Busy:        c.Busy(),
+	}
+}
+
+// ForgetParked drops a parked stream from the controller's books and returns
+// its gateway slot: the rebalancer's hand-off primitive. RemoveStream parks
+// the victim so its name and slot stay recoverable via Readmit — but a
+// rebalanced stream is not coming back: it is released from the gateway
+// (tombstoned slot) and re-admitted on another chain, and a stale parked
+// entry would wedge a later failover's Retarget (every parked name must
+// exist on the standby). Returns false when no such parked stream exists.
+func (c *Controller) ForgetParked(name string) (int, bool) {
+	p := c.parked[name]
+	if p == nil {
+		return 0, false
+	}
+	delete(c.parked, name)
+	return p.slot, true
+}
+
 func (c *Controller) chain() *mpsoc.Chain { return c.ms.Chains[c.ci] }
 
 func (c *Controller) now() sim.Time { return c.ms.K.Now() }

@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"accelshare/internal/fault"
@@ -103,3 +104,67 @@ func benchCells(b *testing.B, parallel bool) {
 func BenchmarkCellsSequential(b *testing.B) { benchCells(b, false) }
 
 func BenchmarkCellsParallel(b *testing.B) { benchCells(b, true) }
+
+// BenchmarkRebalance measures one full hot-migration cycle: the periodic
+// tick snapshots fleet telemetry, the spread trips the high-water mark, and
+// the 4-step move (remove, release, settle, admit) relocates the victim —
+// each iteration simulates the whole scenario including the departure that
+// unbalances the fleet.
+func BenchmarkRebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig([]ChainSpec{
+			{Name: "c0", AccelCost: 1, ReserveSlots: 4},
+			{Name: "c1", AccelCost: 1, ReserveSlots: 4},
+		})
+		cfg.Rebalance = RebalanceConfig{
+			Every: 5_000, Start: 30_000, Stop: 45_000,
+			HighWater: big.NewRat(1, 8),
+		}
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		submitAt(c, 1_000, StreamRequest{Name: "s0", Period: 75})
+		submitAt(c, 5_000, StreamRequest{Name: "s1", Period: 75})
+		submitAt(c, 9_000, StreamRequest{Name: "s2", Period: 150})
+		departAt(c, 25_000, "s1")
+		c.Run(50_000)
+		steps := ladderOf(c, "rebalance")
+		if len(steps) != 1 {
+			b.Fatalf("%d rebalance steps, want 1", len(steps))
+		}
+		if steps[0].Measured > steps[0].Bound {
+			b.Fatalf("move over bound: %d > %d", steps[0].Measured, steps[0].Bound)
+		}
+	}
+}
+
+// BenchmarkServeTraffic is the sustained-serving hot path in miniature: an
+// open-loop arrival/departure process with a diurnal ramp over a
+// slot-reclaiming fleet, the rebalancer ticking throughout. It is the
+// cluster-layer cost model for the accelshare serve campaign.
+func BenchmarkServeTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig(benchFleet())
+		cfg.ReclaimSlots = true
+		cfg.Rebalance = RebalanceConfig{
+			Every: 5_000, Start: 10_000, Stop: 45_000,
+			HighWater: big.NewRat(1, 10), MaxMovesPerTick: 2,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := Profile{
+			Seed: 24601, Start: 1_000, End: 30_000,
+			MeanSpacing: 2_000, MinLifetime: 8_000, MeanLifetime: 15_000,
+			Periods: []int64{300, 600}, Priorities: []int{1, 5},
+			DiurnalPeriod: 30_000, DiurnalAmplitude: 50,
+		}.Ops()
+		Schedule(c, ops)
+		c.Run(50_000)
+		if got := len(eventsOf(c, EvArrive)); got < 10 {
+			b.Fatalf("%d admissions, want >= 10", got)
+		}
+	}
+}

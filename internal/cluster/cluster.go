@@ -93,7 +93,16 @@ type Config struct {
 	// fast path above). One shared instance is fine — solvers are
 	// stateless and safe for concurrent use.
 	Solver solve.Solver
-	Chains []ChainSpec
+	// Rebalance arms the periodic utilisation-spread rebalancing loop
+	// (see RebalanceConfig; zero value = disabled).
+	Rebalance RebalanceConfig
+	// ReclaimSlots returns a departed stream's ring attachment points to
+	// its home chain's reserve pool (mpsoc.ReclaimStream), so a sustained
+	// serving campaign admits an unbounded sequence of lifetimes through a
+	// bounded slot table. Off by default: short campaigns don't need it and
+	// the flag keeps their transcripts byte-stable.
+	ReclaimSlots bool
+	Chains       []ChainSpec
 }
 
 // StreamRequest asks the fleet to admit a new stream.
@@ -125,6 +134,10 @@ const (
 	EvHeal      EventKind = "heal"
 	EvReadmit   EventKind = "readmit"
 	EvLost      EventKind = "lost"
+	// EvRebalance marks a rebalance tick's plan (or an aborted move);
+	// EvRebalanced marks one completed hot migration.
+	EvRebalance  EventKind = "rebalance"
+	EvRebalanced EventKind = "rebalanced"
 )
 
 // Event is one fleet event-log entry (append-only, deterministic order).
@@ -158,10 +171,13 @@ func FormatEvent(e Event) string {
 // the accepted targets' transition envelopes + every charged backoff delay
 // (see DESIGN § Fleet robustness); for readmit steps it is the admitting
 // transition's own envelope.
+// Rebalance moves record rung "rebalance" with the composed move bound:
+// the source's removal envelope + settle + the target's admission envelope
+// + charged backoff delays.
 type LadderStep struct {
 	At     sim.Time
 	Stream string
-	// Rung is "failover", "evacuate", "shed" or "readmit".
+	// Rung is "failover", "evacuate", "shed", "readmit" or "rebalance".
 	Rung     string
 	From, To string
 	Measured uint64
@@ -223,6 +239,13 @@ type streamInfo struct {
 	departing   bool
 	deferDepart bool
 
+	// moving marks an in-flight rebalance move; moves counts completed
+	// rebalance moves against RebalanceConfig.MoveBudget and movedAt
+	// timestamps the last one (RebalanceConfig.Cooldown).
+	moving  bool
+	moves   int
+	movedAt sim.Time
+
 	export    gateway.StreamExport
 	hasExport bool
 }
@@ -257,6 +280,12 @@ type Controller struct {
 
 	events []Event
 	ladder []LadderStep
+
+	// Rebalancer state: per-tick telemetry history, the pending move queue,
+	// and the one-move-at-a-time gate.
+	fleet     []FleetStats
+	moveQueue []*moveOp
+	moving    bool
 }
 
 // New builds the fleet platform and attaches the control plane. Serving
@@ -273,6 +302,9 @@ func New(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("cluster: resident period must be positive")
 	}
 	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Rebalance.validate(); err != nil {
 		return nil, err
 	}
 	serving := 0
@@ -375,6 +407,7 @@ func New(cfg Config) (*Controller, error) {
 		c.streams[rname] = si
 		c.order = append(c.order, rname)
 	}
+	c.scheduleRebalance()
 	return c, nil
 }
 
@@ -614,6 +647,16 @@ func (c *Controller) depart(si *streamInfo, attempt int) {
 		si.departed = true
 		si.chain = -1
 		c.event(EvDepart, ci.name, si.name, fmt.Sprintf("wait=%d bound=%d", v.PauseWait, v.BoundCycles))
+		if c.cfg.ReclaimSlots {
+			// Retire the parked slot for good: forget it on the admission
+			// side first so a later failover Retarget never looks for a
+			// name whose gateway slot is a Released tombstone.
+			if _, ok := ci.ctrl.ForgetParked(si.name); ok {
+				if err := c.ms.ReclaimStream(ci.idx, si.name); err != nil {
+					c.event(EvLost, ci.name, si.name, fmt.Sprintf("slot reclaim failed: %v", err))
+				}
+			}
+		}
 	})
 	if si.departed {
 		return // synchronous accept cannot happen, but keep the invariant
@@ -734,6 +777,25 @@ func (c *Controller) reissuePending(ci *chainInfo) {
 			continue
 		}
 		si.inflight = false
+		if si.moving {
+			// A rebalance move died with this chain. Abandon the rest of the
+			// plan (its models are stale) and recover the victim: before the
+			// release the stream is still in the frozen chain's slot table,
+			// so the failover/evacuation carries it like any resident; after
+			// the release we hold its export, so it parks and the readmission
+			// machinery gets it back.
+			si.moving = false
+			c.moveQueue = nil
+			c.moving = false
+			if si.hasExport {
+				si.shed = true
+				c.event(EvLost, ci.name, si.name, "rebalance target died mid-admit; parked")
+				c.scheduleReadmit(si, 0)
+			} else {
+				c.event(EvLost, ci.name, si.name, "rebalance removal died with the chain")
+			}
+			continue
+		}
 		if si.departing {
 			si.departing = false
 			si.deferDepart = true
@@ -752,18 +814,16 @@ func (c *Controller) reissuePending(ci *chainInfo) {
 // stream individually (rung 3, shed, per stream when no target admits it).
 func (c *Controller) evacuate(ci *chainInfo, reason string) {
 	msch := c.ms.Chains[ci.idx]
-	model := ci.ctrl.Model()
-	var maxTau uint64
-	for i := range model.Streams {
-		if t, err := model.TauHatCheckpointed(i, c.cfg.Recovery.Checkpoint, uint64(c.cfg.Recovery.CheckpointCost)); err == nil && t > maxTau {
-			maxTau = t
-		}
-	}
+	maxTau := c.maxTauOf(ci.ctrl.Model())
 	if err := msch.Pair.FreezeForFailover(); err != nil {
 		c.event(EvEvacuate, ci.name, "", fmt.Sprintf("freeze failed: %v", err))
 		return
 	}
 	for _, st := range msch.Strs {
+		if st.GW.Released {
+			// A rebalanced-away stream's tombstone: its FIFOs left with it.
+			continue
+		}
 		st.In.BeginRepoint()
 	}
 	settle := c.cfg.Recovery.FlushDelay

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+// TestReclaimSlotsReusesCapacity: with Config.ReclaimSlots a departed
+// stream's ring attachment points return to its chain's reserve pool, so a
+// bounded slot table serves an unbounded sequence of sequential lifetimes.
+// Without the flag AttachStream permanently consumes a reserved node pair
+// per admission, capping the chain at ReserveSlots lifetimes — the exact
+// failure mode the sustained serving campaign exists to rule out.
+func TestReclaimSlotsReusesCapacity(t *testing.T) {
+	// Four strictly sequential lifetimes through a two-slot chain: each
+	// stream departs long before the next arrives, so only slot-table
+	// capacity (never utilisation) can reject an arrival.
+	run := func(reclaim bool) *Controller {
+		cfg := testConfig([]ChainSpec{{Name: "c0", AccelCost: 1, ReserveSlots: 2}})
+		cfg.ReclaimSlots = reclaim
+		c := mustCluster(t, cfg)
+		for i, at := range []sim.Time{1_000, 30_000, 60_000, 90_000} {
+			name := fmt.Sprintf("s%d", i)
+			submitAt(c, at, StreamRequest{Name: name, Period: 150})
+			if i < 3 {
+				departAt(c, at+15_000, name)
+			}
+		}
+		c.Run(130_000)
+		return c
+	}
+
+	capped := run(false)
+	if got := len(eventsOf(capped, EvArrive)); got != 2 {
+		t.Errorf("without reclaim: %d admissions, want 2 (slot table capped)", got)
+	}
+	if live := statusOf(capped, "s3"); live.State == "live" {
+		t.Errorf("without reclaim: s3 is live, want rejected")
+	}
+
+	c := run(true)
+	if got := len(eventsOf(c, EvArrive)); got != 4 {
+		t.Errorf("with reclaim: %d admissions, want 4", got)
+	}
+	if got := len(eventsOf(c, EvReject)); got != 0 {
+		t.Errorf("with reclaim: %d rejections, want 0", got)
+	}
+	for _, name := range []string{"s0", "s1", "s2"} {
+		if ss := statusOf(c, name); ss.State != "departed" {
+			t.Errorf("with reclaim: %s state=%s, want departed", name, ss.State)
+		}
+	}
+	if ss := statusOf(c, "s3"); ss.State != "live" || ss.Chain != "c0" {
+		t.Errorf("with reclaim: s3 state=%s chain=%s, want live on c0", ss.State, ss.Chain)
+	}
+	checkConformance(t, c, 100_000)
+}

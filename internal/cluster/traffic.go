@@ -7,10 +7,27 @@ import (
 	"accelshare/internal/sim"
 )
 
-// Deterministic open-loop traffic: a seeded xorshift stream drives arrivals
-// with paired departures plus one optional flash crowd. The generator is a
-// pure function of the Profile — no wall clock, no global RNG — so a chaos
-// soak replays byte-identically.
+// Deterministic open-loop traffic for fleet campaigns. A seeded xorshift
+// stream drives background arrivals with paired departures (each stream's
+// lifetime is drawn when it arrives, so the arrival and departure processes
+// are one sequence, not two racing ones), optionally shaped by a diurnal
+// ramp — an integer triangle wave that compresses the arrival spacing
+// toward mid-cycle — plus one flash crowd of near-simultaneous arrivals.
+//
+// The generator is a pure function of the Profile — no wall clock, no
+// global RNG, integer arithmetic only — so a campaign replays
+// byte-identically and its transcript can be golden-tested. Two rules keep
+// that property across Profile extensions: new shaping features must be
+// no-ops at their zero value (a zero DiurnalPeriod draws exactly the gaps
+// the pre-diurnal generator drew, preserving existing goldens without
+// regeneration), and the generated names (s%02d for background, f%02d for
+// the crowd) are part of the byte-stable surface — renaming them
+// invalidates every campaign golden at once.
+//
+// Ops expands a Profile into a time-sorted operation list; Schedule
+// registers it against a Controller. Campaigns that need the totals (the
+// serve transcript's traffic summary) count the ops themselves — the
+// generator exposes no aggregate state.
 
 // xorshift is a minimal 64-bit xorshift PRNG; the zero value is invalid
 // (xorshift never leaves 0), so Profile.Seed must be non-zero.
@@ -41,6 +58,13 @@ type Profile struct {
 	// background arrivals draw from (uniformly).
 	Periods    []int64
 	Priorities []int
+	// DiurnalPeriod and DiurnalAmplitude shape the arrival rate with an
+	// integer triangle wave: at mid-cycle the mean spacing shrinks by up to
+	// DiurnalAmplitude percent, ramping linearly back to MeanSpacing at the
+	// cycle edges. Zero values leave the spacing untouched (and the drawn
+	// gap sequence bit-identical to the unshaped generator).
+	DiurnalPeriod    sim.Time
+	DiurnalAmplitude int
 	// FlashAt triggers FlashCount near-simultaneous arrivals spaced
 	// FlashSpacing apart, each with period FlashPeriod, priority 0, leaving
 	// after FlashLifetime. FlashCount 0 disables the crowd.
@@ -70,6 +94,22 @@ func (p Profile) Ops() []Op {
 		n := 0
 		for {
 			span := p.MeanSpacing
+			if p.DiurnalPeriod > 0 && p.DiurnalAmplitude > 0 {
+				pos := t % p.DiurnalPeriod
+				half := p.DiurnalPeriod / 2
+				dev := pos
+				if dev > half {
+					dev = p.DiurnalPeriod - pos
+				}
+				if half > 0 {
+					// dev/half ∈ [0,1]: cut the spacing by up to Amplitude%
+					// at mid-cycle (integer triangle — no floats).
+					span -= span * sim.Time(p.DiurnalAmplitude) * dev / (100 * half)
+				}
+				if span < 1 {
+					span = 1
+				}
+			}
 			gap := span/2 + sim.Time(rng.next()%uint64(span))
 			t += gap
 			if t >= p.End {

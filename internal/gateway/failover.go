@@ -200,6 +200,56 @@ func (p *Pair) ImportStream(e StreamExport) (int, error) {
 	return len(p.streams) - 1, nil
 }
 
+// ReleaseSlot exports one suspended stream's migratable state from a LIVE
+// pair — the rebalancer's half of a hot migration, where ExportStreams is the
+// failover's whole-chain half. The slot must already be Suspended (the
+// admission controller's RemoveStream drained and suspended it inside a
+// staged transition, so no block is in flight and any replay residue sits in
+// pendingReplay). The slot itself is replaced by a Released tombstone: slot
+// tables never shrink, so every later slot keeps its index and the pending
+// admission-event log stays valid; the tombstone is permanently suspended and
+// owns no FIFOs or engine state.
+//
+//accellint:deepcopy
+func (p *Pair) ReleaseSlot(slot int) (StreamExport, error) {
+	if p.failed {
+		return StreamExport{}, fmt.Errorf("gateway %s: ReleaseSlot on a failed pair (use ExportStreams)", p.cfg.Name)
+	}
+	if slot < 0 || slot >= len(p.streams) {
+		return StreamExport{}, fmt.Errorf("gateway %s: ReleaseSlot %d out of range [0,%d)", p.cfg.Name, slot, len(p.streams))
+	}
+	s := p.streams[slot]
+	if s.Released {
+		return StreamExport{}, fmt.Errorf("gateway %s: slot %d (%q) already released", p.cfg.Name, slot, s.Name)
+	}
+	if !s.Suspended {
+		return StreamExport{}, fmt.Errorf("gateway %s: ReleaseSlot %d (%q) requires a suspended stream", p.cfg.Name, slot, s.Name)
+	}
+	ex := StreamExport{
+		Stream:      s,
+		Engines:     p.standingState(slot, s),
+		Replay:      append([]sim.Word(nil), s.pendingReplay...),
+		Committed:   s.pendingCommitted,
+		ReplayStart: s.pendingReplayStart,
+	}
+	// The suspension belongs to this pair's slot table (RemoveStream parked
+	// the slot inside its staged transition); the tombstone keeps it, the
+	// departing stream must arrive at its importer ready to arbitrate.
+	s.Suspended = false
+	p.streams[slot] = &Stream{Name: s.Name, Suspended: true, Released: true}
+	if p.loadedStream == slot {
+		// The released stream's engine state was the one swapped into the
+		// tiles; the export deep-copied it, so nothing is loaded any more.
+		p.loadedStream = -1
+	}
+	if p.active == slot {
+		// Defensive: a suspended slot cannot be mid-block, but never leave
+		// active pointing at a tombstone.
+		p.active = -1
+	}
+	return ex, nil
+}
+
 // RecordFailoverSpan appends a controller-level failover span (Stream = -1)
 // to the activity trace, when recording is enabled.
 func (p *Pair) RecordFailoverSpan(start, end sim.Time) {

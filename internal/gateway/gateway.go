@@ -303,9 +303,21 @@ type Stream struct {
 	// retry budget and re-quarantines immediately (canary failed). The
 	// pair's canary hook observes both edges.
 	Probation bool
+	// Released marks a tombstone left behind by ReleaseSlot: the real stream
+	// object migrated to another pair and this placeholder only keeps the
+	// slot table's indices stable (slot tables never shrink — the zombie-slot
+	// precedent). A released slot carries no FIFOs and no engine state and is
+	// permanently Suspended; every arbitration and failover path skips it.
+	Released bool
 	// Turnarounds holds one record per completed block (RecordTurnarounds).
 	Turnarounds []BlockRecord
 }
+
+// ReplayResidue is the number of input words the stream's next block must
+// replay — the aborted-attempt residue it carries from a quarantine flush or
+// a migration. With checkpointing every K samples it is ≤ K; the rebalancer
+// uses it to pick cheap victims (smallest-residue-first).
+func (s *Stream) ReplayResidue() int { return len(s.pendingReplay) }
 
 // BlockRecord describes one completed block (Config.RecordTurnarounds):
 // when it became eligible, when its service (first attempt) started, when

@@ -175,6 +175,11 @@ func (fc *FailoverController) Trigger(reason string) error {
 		return err
 	}
 	for _, st := range fc.pri.Strs {
+		if st.GW.Released {
+			// A rebalanced-away stream's tombstone: the real stream (and its
+			// FIFOs) belongs to another chain now.
+			continue
+		}
 		st.In.BeginRepoint()
 	}
 	settle := fc.cfg.SettleDelay
@@ -226,15 +231,27 @@ func (fc *FailoverController) refreshModel(snaps []gateway.StreamSnapshot) uint6
 // migrate runs after the settle delay: every in-flight word has landed, so
 // the dead chain can be scrubbed and the streams moved.
 func (fc *FailoverController) migrate(reason string, triggeredAt, settle sim.Time, maxTau uint64) {
-	exports, err := fc.pri.Pair.ExportStreams()
+	allExports, err := fc.pri.Pair.ExportStreams()
 	if err != nil {
 		panic(fmt.Sprintf("failover: export: %v", err))
+	}
+	// Drop Released tombstones: a rebalanced-away stream's slot exports an
+	// empty placeholder (no FIFOs, no state) — the real stream already lives
+	// on another chain. Strs and the export table are index-parallel, so one
+	// filter keeps them paired.
+	var exports []gateway.StreamExport
+	var moved []*Stream
+	for i, e := range allExports {
+		if e.Stream.Released {
+			continue
+		}
+		exports = append(exports, e)
+		moved = append(moved, fc.pri.Strs[i])
 	}
 	replay := 0
 	for _, e := range exports {
 		replay += len(e.Replay)
 	}
-	moved := fc.pri.Strs
 	fc.pri.Strs = nil
 	decims := make([]int64, len(moved))
 	for i, st := range moved {
@@ -247,10 +264,13 @@ func (fc *FailoverController) migrate(reason string, triggeredAt, settle sim.Tim
 		st.Out.RepointProducer(fc.stb.ExitNode)
 	}
 	err = fc.stb.Pair.RequestPause(func() {
-		for _, e := range exports {
-			if _, err := fc.stb.Pair.ImportStream(e); err != nil {
+		slots := make([]int, len(exports))
+		for i, e := range exports {
+			slot, err := fc.stb.Pair.ImportStream(e)
+			if err != nil {
 				panic(fmt.Sprintf("failover: import %q: %v", e.Stream.Name, err))
 			}
+			slots[i] = slot
 		}
 		fc.stb.Strs = append(fc.stb.Strs, moved...)
 
@@ -297,7 +317,7 @@ func (fc *FailoverController) migrate(reason string, triggeredAt, settle sim.Tim
 		updates := make([]gateway.SlotUpdate, len(exports))
 		for i := range exports {
 			updates[i] = gateway.SlotUpdate{
-				Stream: i, SetBlock: blocks[i], SetOutBlock: blocks[i] / decims[i],
+				Stream: slots[i], SetBlock: blocks[i], SetOutBlock: blocks[i] / decims[i],
 			}
 		}
 		rec.BusCycles = uint64(fc.cfg.PerSlotCost) * uint64(len(updates))

@@ -341,6 +341,9 @@ func (m *MultiSystem) AttachStream(chainIdx int, ss StreamSpec) (*Stream, error)
 		return nil, err
 	}
 	ch.reserved = ch.reserved[1:]
+	st.ringHome = chainIdx
+	st.ringNodes = nodes
+	st.reclaimable = true
 	ch.Strs = append(ch.Strs, st)
 	startStreamTasks(m.K, st)
 	return st, nil
@@ -369,6 +372,65 @@ func (m *MultiSystem) AdoptStream(chainIdx int, st *Stream, e gateway.StreamExpo
 	st.Out.RepointProducer(ch.ExitNode)
 	ch.Strs = append(ch.Strs, st)
 	return slot, nil
+}
+
+// ReleaseStream detaches one suspended stream from a LIVE chain for
+// rebalancing: the inverse of AdoptStream. The admission controller must
+// have removed the stream first (drain, suspend, survivor re-solve), so no
+// block is in flight. The gateway slot is swapped for a Released tombstone
+// (slot indices never shift — the zombie-slot precedent) and so is the
+// chain's Strs entry, keeping the two tables parallel for chainReport. The
+// caller owns the returned stream and export, gates its producer
+// (cfifo.BeginRepoint), waits out the settle delay, and hands both to the
+// target controller's AdmitMigrated/AdoptStream. Streams are matched by name
+// scanning backwards so the newest same-name slot wins over zombies.
+func (m *MultiSystem) ReleaseStream(chainIdx int, name string) (*Stream, gateway.StreamExport, error) {
+	if chainIdx < 0 || chainIdx >= len(m.Chains) {
+		return nil, gateway.StreamExport{}, fmt.Errorf("mpsoc: chain %d out of range", chainIdx)
+	}
+	ch := m.Chains[chainIdx]
+	for slot := len(ch.Strs) - 1; slot >= 0; slot-- {
+		st := ch.Strs[slot]
+		if st.GW.Name != name || st.GW.Released {
+			continue
+		}
+		ex, err := ch.Pair.ReleaseSlot(slot)
+		if err != nil {
+			return nil, gateway.StreamExport{}, err
+		}
+		// ReleaseSlot left a gateway tombstone at the slot; mirror it here so
+		// ch.Strs stays index-parallel with the pair's slot table. The
+		// tombstone's spec claims an external source/sink so a stray
+		// ResumeSource on this index can never start a task against nil FIFOs.
+		tomb := st.Spec
+		tomb.ExternalSource, tomb.ExternalSink = true, true
+		ch.Strs[slot] = &Stream{Spec: tomb, GW: ch.Pair.Streams()[slot]}
+		return st, ex, nil
+	}
+	return nil, gateway.StreamExport{}, fmt.Errorf("mpsoc: chain %q has no stream %q", ch.Spec.Name, name)
+}
+
+// ReclaimStream retires a departed stream and returns its reserved ring
+// attachment points to its home chain's pool, so a long-serving fleet can
+// admit an unbounded sequence of stream lifetimes through a bounded set of
+// ring slots. The admission controller must have removed the stream first
+// (drained, suspended, survivors re-solved) — ReclaimStream then releases
+// the slot exactly like a rebalance export (gateway tombstone, indices
+// stable) but discards the export: the stream is gone, not migrating. The
+// departed stream's sink task idles harmlessly; transport is port-addressed
+// so the recycled nodes never deliver to it again.
+func (m *MultiSystem) ReclaimStream(chainIdx int, name string) error {
+	st, _, err := m.ReleaseStream(chainIdx, name)
+	if err != nil {
+		return err
+	}
+	st.StopSource()
+	if st.reclaimable {
+		home := m.Chains[st.ringHome]
+		home.reserved = append(home.reserved, st.ringNodes)
+		st.reclaimable = false
+	}
+	return nil
 }
 
 // StartSource (re)starts a stream's built-in source task by reference.

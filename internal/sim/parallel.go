@@ -3,7 +3,19 @@ package sim
 import "sync"
 
 // Group advances several fully independent kernels in lockstep quantum
-// windows, one goroutine per kernel within a window.
+// windows, one goroutine per kernel within a window. It is the scale-out
+// primitive for multi-cell campaigns: each cell (a whole cluster, fleet or
+// chain) owns a private Kernel, the Group keeps their clocks aligned, and
+// any cross-cell coordination — batched transport, telemetry aggregation,
+// verdict exchange — happens in the barrier hook between windows. Use a
+// single Kernel when everything can share one event wheel; reach for a
+// Group only when the component graphs are disjoint, because that
+// disjointness is the entire determinism argument below.
+//
+// The quantum trades barrier overhead against exchange latency: work
+// crossing cells is delayed to the next window boundary, so pick a quantum
+// no larger than the minimum cross-cell latency being modelled (the
+// cluster cells campaign uses its transport hop latency).
 //
 // Determinism argument: each kernel owns a disjoint component graph, so the
 // events of one kernel never read or write another cell's state — goroutine

@@ -1,0 +1,129 @@
+package solve
+
+import (
+	"math/big"
+	"testing"
+
+	"accelshare/internal/core"
+)
+
+// rebalanceFleet builds n identical chains (c0 = 4) with no streams; load
+// is added per test via addLoad.
+func rebalanceFleet(n int) []*core.System {
+	out := make([]*core.System, n)
+	for i := range out {
+		out[i] = &core.System{
+			Chain: core.Chain{
+				Name:       string(rune('A' + i)),
+				AccelCosts: []uint64{4},
+				EntryCost:  1,
+				ExitCost:   2,
+				NICapacity: 2,
+			},
+			ClockHz: 1_000_000,
+		}
+	}
+	return out
+}
+
+// addLoad appends a stream of utilisation num/den (μ·c0 exact) to chain m.
+func addLoad(m *core.System, name string, num, den int64) {
+	c0 := int64(m.Chain.C0())
+	m.Streams = append(m.Streams, core.Stream{
+		Name: name,
+		Rate: big.NewRat(num*m.ClockHz, den*c0),
+	})
+}
+
+func TestPlanRebalanceMovesHotToCold(t *testing.T) {
+	fleet := rebalanceFleet(3)
+	// A at 6/10, B at 2/10, C at 1/10: spread 1/2.
+	addLoad(fleet[0], "a0", 2, 10)
+	addLoad(fleet[0], "a1", 2, 10)
+	addLoad(fleet[0], "a2", 2, 10)
+	addLoad(fleet[1], "b0", 2, 10)
+	addLoad(fleet[2], "c0", 1, 10)
+	cands := []MoveCandidate{
+		{Name: "a0", Chain: 0, Rate: fleet[0].Streams[0].Rate, Residue: 4},
+		{Name: "a1", Chain: 0, Rate: fleet[0].Streams[1].Rate, Residue: 0},
+		{Name: "a2", Chain: 0, Rate: fleet[0].Streams[2].Rate, Residue: 0},
+	}
+	moves := PlanRebalance(fleet, cands, 8, nil)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned for a 5:1 hot/cold spread")
+	}
+	// Victim selection is smallest-residue-first, name as tie-break: a1
+	// (residue 0) must move before a0 (residue 4).
+	if moves[0].Name != "a1" || moves[0].From != 0 || moves[0].To != 2 {
+		t.Fatalf("first move = %+v, want a1 from 0 to 2 (smallest residue to coldest)", moves[0])
+	}
+	for _, mv := range moves {
+		if mv.From != 0 {
+			t.Fatalf("move %+v leaves a non-hot chain", mv)
+		}
+	}
+	// Models must not be mutated by planning.
+	if got := fleet[0].Utilization(); got.Cmp(big.NewRat(6, 10)) != 0 {
+		t.Fatalf("planning mutated chain A utilisation: %v", got)
+	}
+}
+
+func TestPlanRebalanceStopsAtLowWater(t *testing.T) {
+	fleet := rebalanceFleet(2)
+	addLoad(fleet[0], "a0", 1, 10)
+	addLoad(fleet[0], "a1", 1, 10)
+	addLoad(fleet[0], "a2", 1, 10)
+	addLoad(fleet[0], "a3", 1, 10)
+	cands := make([]MoveCandidate, 4)
+	for i := range cands {
+		cands[i] = MoveCandidate{Name: fleet[0].Streams[i].Name, Chain: 0, Rate: fleet[0].Streams[i].Rate}
+	}
+	// Spread starts at 4/10; low water 2/10 should allow exactly one move
+	// (4/10 → 2/10), not balance all the way to 0.
+	moves := PlanRebalance(fleet, cands, 8, big.NewRat(2, 10))
+	if len(moves) != 1 {
+		t.Fatalf("planned %d moves, want 1 (stop at low water)", len(moves))
+	}
+}
+
+func TestPlanRebalanceRespectsBudgetAndFit(t *testing.T) {
+	fleet := rebalanceFleet(2)
+	addLoad(fleet[0], "a0", 3, 10)
+	addLoad(fleet[0], "a1", 3, 10)
+	addLoad(fleet[0], "a2", 3, 10)
+	// B is nearly full: only a chain with room may receive.
+	addLoad(fleet[1], "b0", 9, 10)
+	cands := []MoveCandidate{
+		{Name: "a0", Chain: 0, Rate: fleet[0].Streams[0].Rate},
+		{Name: "a1", Chain: 0, Rate: fleet[0].Streams[1].Rate},
+		{Name: "a2", Chain: 0, Rate: fleet[0].Streams[2].Rate},
+	}
+	if moves := PlanRebalance(fleet, cands, 8, nil); len(moves) != 0 {
+		t.Fatalf("planned %d moves onto a 9/10-loaded chain (3/10 each cannot fit)", len(moves))
+	}
+	// maxMoves caps the plan even when more improvement is available.
+	fleet2 := rebalanceFleet(2)
+	for i, name := range []string{"x0", "x1", "x2", "x3", "x4", "x5"} {
+		_ = i
+		addLoad(fleet2[0], name, 1, 10)
+	}
+	cands2 := make([]MoveCandidate, 6)
+	for i := range cands2 {
+		cands2[i] = MoveCandidate{Name: fleet2[0].Streams[i].Name, Chain: 0, Rate: fleet2[0].Streams[i].Rate}
+	}
+	if moves := PlanRebalance(fleet2, cands2, 2, nil); len(moves) != 2 {
+		t.Fatalf("planned %d moves, want the maxMoves cap of 2", len(moves))
+	}
+}
+
+func TestPlanRebalanceNoOscillation(t *testing.T) {
+	// Two chains one small stream apart: moving it would just invert the
+	// imbalance (same spread), so the plan must be empty — the strict
+	// improvement rule is what makes the cluster-level hysteresis sound.
+	fleet := rebalanceFleet(2)
+	addLoad(fleet[0], "a0", 1, 10)
+	cands := []MoveCandidate{{Name: "a0", Chain: 0, Rate: fleet[0].Streams[0].Rate}}
+	if moves := PlanRebalance(fleet, cands, 8, nil); len(moves) != 0 {
+		t.Fatalf("planned %d moves that cannot strictly improve the spread", len(moves))
+	}
+}
