@@ -1,14 +1,20 @@
 // Command accellint is the repository's invariant linter: a multichecker
 // over the internal/analysis suite (determinism, boundcheck, deepcopy,
-// pkgdoc). It loads and type-checks the module's non-test packages with no
-// external dependencies and prints one line per finding:
+// pkgdoc, floatflow, ratalias, noalloc) plus the directive check — an
+// //accellint: comment no analyzer consumed is itself a finding. It loads
+// and type-checks the module's non-test packages with no external
+// dependencies and prints one line per finding:
 //
 //	path/file.go:line:col: message (analyzer)
 //
 // Usage:
 //
 //	go run ./cmd/accellint ./...
-//	go run ./cmd/accellint ./internal/admission ./internal/mpsoc
+//	go run ./cmd/accellint -json ./internal/admission ./internal/mpsoc
+//
+// With -json the findings stream as one JSON array of
+// {file, line, col, message, analyzer} objects on stdout (an empty array
+// when clean), for editor and CI-annotation tooling.
 //
 // Exit status is 0 when clean, 1 when any analyzer reported a finding, and
 // 2 on usage or load errors. CI runs it over ./... in place of the old
@@ -16,6 +22,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,10 +32,25 @@ import (
 	"accelshare/internal/analysis"
 )
 
+// finding is the -json output shape for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
 func main() {
-	args := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of line-per-finding text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: accellint [-json] ./... | accellint [-json] <package dirs>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: accellint ./... | accellint <package dirs>")
+		flag.Usage()
 		os.Exit(2)
 	}
 	root, err := moduleRoot()
@@ -45,21 +68,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(fset, keep, analysis.Suite())
+	diags, err := analysis.RunOpts(fset, keep, analysis.Suite(), analysis.Options{CheckDirectives: true})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
 		os.Exit(2)
 	}
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		name := pos.Filename
 		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+		findings = append(findings, finding{
+			File: name, Line: pos.Line, Col: pos.Column,
+			Message: d.Message, Analyzer: d.Analyzer,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "accellint: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "accellint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "accellint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

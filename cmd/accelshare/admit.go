@@ -125,6 +125,10 @@ func admitPlatform(reserve int) (*mpsoc.MultiSystem, *admission.Controller, erro
 	return ms, ctrl, nil
 }
 
+// admitCampaign writes the byte-deterministic campaign transcript that the
+// golden gate diffs; floatflow holds it to exact output.
+//
+//accellint:transcript golden transcript must stay float-free
 func admitCampaign(w io.Writer, script string, horizon sim.Time, reserve int) error {
 	ops, err := admission.ParseScript(script)
 	if err != nil {

@@ -142,6 +142,10 @@ func chaosConfig(chains []cluster.ChainSpec) cluster.Config {
 	}
 }
 
+// chaosCampaign writes the byte-deterministic campaign transcript that the
+// golden gate diffs; floatflow holds it to exact output.
+//
+//accellint:transcript golden transcript must stay float-free
 func chaosCampaign(w io.Writer, short bool, seed uint64) error {
 	p := chaosSoak(seed)
 	name := "full soak"

@@ -264,6 +264,10 @@ func conformanceCut(rec *mpsoc.Record) sim.Time {
 	return 20_000
 }
 
+// failoverCampaign writes the byte-deterministic campaign transcript that the
+// golden gate diffs; floatflow holds it to exact output.
+//
+//accellint:transcript golden transcript must stay float-free
 func failoverCampaign(w io.Writer, horizon sim.Time, override *fault.Plan) error {
 	fmt.Fprintln(w, "Multi-chain failover campaign: 3 streams on a primary chain, empty standby")
 	fmt.Fprintln(w, "pair on the same ring (ε=15, ρA=1, δ=1, Rs=50, η=16 → τ̂=320, γ̂=960; source")

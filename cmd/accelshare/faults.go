@@ -161,6 +161,10 @@ func campaignScenarios() []faultScenario {
 	return scs
 }
 
+// faultCampaign writes the byte-deterministic campaign transcript that the
+// golden gate diffs; floatflow holds it to exact output.
+//
+//accellint:transcript golden transcript must stay float-free
 func faultCampaign(w io.Writer, horizon sim.Time) error {
 	fmt.Fprintln(w, "Fault-injection campaign: 3 streams share one accelerator chain")
 	fmt.Fprintln(w, "(ε=15, ρA=1, δ=1, Rs=50, η=16 → τ̂=320, γ̂=960; source period 75 cyc/sample)")

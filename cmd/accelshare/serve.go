@@ -182,6 +182,10 @@ func serveConfig(p serveProfile) cluster.Config {
 	}
 }
 
+// serveCampaign writes the byte-deterministic campaign transcript that the
+// golden gate diffs; floatflow holds it to exact output.
+//
+//accellint:transcript golden transcript must stay float-free
 func serveCampaign(w io.Writer, short bool, seed uint64) error {
 	p := serveSoak(seed)
 	name := "full campaign"

@@ -31,8 +31,10 @@ func main() {
 
 	// Radio A: wideband FM at 1.4112 MS/s, carrier +300 kHz, ÷8 to 176.4 kS/s.
 	// Radio B: telemetry at 352.8 kS/s, carrier -80 kHz, ÷8 to 44.1 kS/s.
-	rateA := 44100.0 * 32
-	rateB := 44100.0 * 8
+	// Untyped constants: exact in the model's int64/big.Rat contexts and in
+	// the float DSP contexts alike (no float-derived value feeds a bound).
+	const rateA = 44100.0 * 32
+	const rateB = 44100.0 * 8
 
 	model := &core.System{
 		Chain: core.Chain{

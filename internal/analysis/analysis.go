@@ -54,6 +54,10 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Report   func(Diagnostic)
+	// used records which directive comments an analyzer actually consulted,
+	// shared across every pass of one Run so the driver can report stale
+	// directives afterwards.
+	used map[token.Pos]bool
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -68,11 +72,26 @@ type Diagnostic struct {
 	Analyzer string // filled by the driver
 }
 
+// Options configures one Run of the suite.
+type Options struct {
+	// CheckDirectives reports //accellint: comments that no analyzer
+	// consumed — a suppression whose finding no longer fires, a marker on
+	// nothing, or a misspelled name. On by default in cmd/accellint and
+	// TestSuiteCleanOnRepo so directives cannot rot.
+	CheckDirectives bool
+}
+
 // Run applies every analyzer to every package and returns the diagnostics
 // sorted by position (filename, then offset) so output is deterministic —
 // the suite holds itself to the invariant it enforces.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunOpts(fset, pkgs, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	used := map[token.Pos]bool{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -81,6 +100,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				used:     used,
 			}
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = a.Name
@@ -90,6 +110,9 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
+	if opts.CheckDirectives {
+		diags = append(diags, staleDirectives(pkgs, used)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
@@ -104,22 +127,23 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 	return diags, nil
 }
 
-// hasDirective reports whether a comment of the form "//accellint:<name>"
+// LineDirective reports whether a comment of the form "//accellint:<name>"
 // (optionally followed by a justification) sits on the same line as pos or
-// on the line immediately above it. Directives are the suite's escape
-// hatch: each use states in-source why the invariant holds anyway.
-func hasDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name string) bool {
-	want := "accellint:" + name
-	line := fset.Position(pos).Line
+// on the line immediately above it, and records the directive as consumed.
+// Directives are the suite's escape hatch: each use states in-source why
+// the invariant holds anyway. Analyzers must only call this where a finding
+// would otherwise fire, so an un-consulted directive is reported as stale.
+func (p *Pass) LineDirective(file *ast.File, pos token.Pos, name string) bool {
+	line := p.Fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			cl := fset.Position(c.Pos()).Line
+			cl := p.Fset.Position(c.Pos()).Line
 			if cl != line && cl != line-1 {
 				continue
 			}
-			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			if text == want || strings.HasPrefix(text, want+" ") {
+			d, ok := ParseDirective(c.Text)
+			if ok && d.Name == name {
+				p.consume(c.Pos())
 				return true
 			}
 		}
@@ -127,18 +151,65 @@ func hasDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name strin
 	return false
 }
 
-// docHasDirective reports whether a function's doc comment carries the
-// "//accellint:<name>" directive marking it for analysis.
-func docHasDirective(doc *ast.CommentGroup, name string) bool {
+// DocDirective reports whether a declaration's doc comment carries the
+// "//accellint:<name>" marker, returning the parsed directive (for its
+// arguments) and recording it as consumed.
+func (p *Pass) DocDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
 	if doc == nil {
-		return false
+		return Directive{}, false
 	}
-	want := "accellint:" + name
 	for _, c := range doc.List {
-		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-		if text == want || strings.HasPrefix(text, want+" ") {
-			return true
+		d, ok := ParseDirective(c.Text)
+		if ok && d.Name == name {
+			p.consume(c.Pos())
+			return d, true
 		}
 	}
-	return false
+	return Directive{}, false
+}
+
+func (p *Pass) consume(pos token.Pos) {
+	if p.used != nil {
+		p.used[pos] = true
+	}
+}
+
+// staleDirectives scans every //accellint: comment of the analyzed packages
+// and reports the ones no analyzer consumed: unknown names (a typo that
+// suppresses nothing while looking load-bearing) and known names that
+// neither suppressed a finding nor marked a declaration the analyzers
+// visited. This is what keeps directives honest — deleting the code a
+// directive excused makes the directive itself a finding.
+func staleDirectives(pkgs []*Package, used map[token.Pos]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d, ok := ParseDirective(c.Text)
+					if !ok || used[c.Pos()] {
+						continue
+					}
+					var msg string
+					switch {
+					case !knownDirectives[d.Name]:
+						msg = fmt.Sprintf("unknown accellint directive %q; known: %s", d.Name, strings.Join(knownDirectiveNames(), ", "))
+					default:
+						msg = fmt.Sprintf("stale //accellint:%s directive suppresses or marks nothing; delete it or move it to the finding it excuses", d.Name)
+					}
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Message: msg, Analyzer: "directive"})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func knownDirectiveNames() []string {
+	names := make([]string, 0, len(knownDirectives))
+	for n := range knownDirectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -34,6 +34,20 @@ type want struct {
 // comparing diagnostics against // want comments.
 func Run(t *testing.T, dir, pkgpath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	run(t, dir, pkgpath, analysis.Options{}, analyzers)
+}
+
+// RunStrict is Run with CheckDirectives on: beyond the want comparison, any
+// //accellint: directive in the fixture that no analyzer consumed surfaces
+// as an unexpected "directive" diagnostic. Running suppression fixtures
+// through it proves their directives are live, not decorative.
+func RunStrict(t *testing.T, dir, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	run(t, dir, pkgpath, analysis.Options{CheckDirectives: true}, analyzers)
+}
+
+func run(t *testing.T, dir, pkgpath string, opts analysis.Options, analyzers []*analysis.Analyzer) {
+	t.Helper()
 	l := analysis.NewLoader()
 	if err := l.AddFixtureRoot(filepath.Join(dir, "src")); err != nil {
 		t.Fatalf("fixture root: %v", err)
@@ -42,7 +56,7 @@ func Run(t *testing.T, dir, pkgpath string, analyzers ...*analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.Run(l.Fset, []*analysis.Package{pkg}, analyzers)
+	diags, err := analysis.RunOpts(l.Fset, []*analysis.Package{pkg}, analyzers, opts)
 	if err != nil {
 		t.Fatalf("run analyzers: %v", err)
 	}

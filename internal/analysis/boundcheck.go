@@ -43,10 +43,11 @@ var boundMethods = map[string]bool{
 //   - signed↔unsigned integer conversions inside a comparison with a
 //     bound-derived value: a negative measured value converted to uint64
 //     wraps and defeats the comparison
-//   - float↔integer conversions inside a comparison with a bound-derived
-//     value: a float carries rounding error past the exact-rational
-//     discipline, so fast-path candidates must be re-verified exactly
-//     (solve.Verify) before they may meet a bound
+//
+// Float discipline around bounds used to live here as a syntactic
+// conversion rule; the floatflow analyzer subsumes it with dataflow (a
+// float laundered through a local or a helper is caught too), so this
+// analyzer keeps only the integer rules.
 func NewBoundCheck() *Analyzer {
 	a := &Analyzer{
 		Name: "boundcheck",
@@ -166,7 +167,6 @@ func checkBoundsInFunc(pass *Pass, fd *ast.FuncDecl, inCore bool) {
 			}
 			for _, side := range []ast.Expr{be.X, be.Y} {
 				reportSignWrapConversions(pass, side)
-				reportFloatConversions(pass, side)
 			}
 		}
 		return true
@@ -237,51 +237,6 @@ func reportSignWrapConversions(pass *Pass, expr ast.Expr) {
 		if dstUnsigned != srcUnsigned {
 			pass.Reportf(call.Pos(),
 				"signed/unsigned conversion %s(...) inside a bound comparison; a negative value wraps and defeats the bound", dst.Name())
-		}
-		return true
-	})
-}
-
-// reportFloatConversions flags T(x) conversions inside one side of a bound
-// comparison where exactly one of T and x is a float type, in either
-// direction: int64(f) smuggles float rounding error into an exact
-// comparison, and float64(bound) moves the comparison itself onto floats.
-// The verify-don't-trust rule is that a float-path candidate meets a bound
-// only after exact big.Rat re-verification (solve.Verify); constants are
-// exempt (their conversion is exact or a compile error).
-func reportFloatConversions(pass *Pass, expr ast.Expr) {
-	ast.Inspect(expr, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 1 {
-			return true
-		}
-		tv, ok := pass.Info.Types[call.Fun]
-		if !ok || !tv.IsType() {
-			return true
-		}
-		dst, ok := tv.Type.Underlying().(*types.Basic)
-		if !ok {
-			return true
-		}
-		argTV := pass.Info.Types[call.Args[0]]
-		if argTV.Type == nil || argTV.Value != nil {
-			return true // constant: conversion is exact or a compile error
-		}
-		src, ok := argTV.Type.Underlying().(*types.Basic)
-		if !ok {
-			return true
-		}
-		dstFloat := dst.Info()&types.IsFloat != 0
-		srcFloat := src.Info()&types.IsFloat != 0
-		dstInt := dst.Info()&types.IsInteger != 0
-		srcInt := src.Info()&types.IsInteger != 0
-		switch {
-		case dstInt && srcFloat:
-			pass.Reportf(call.Pos(),
-				"float value converted to %s inside a bound comparison; re-verify fast-path candidates exactly (solve.Verify) instead", dst.Name())
-		case dstFloat && srcInt:
-			pass.Reportf(call.Pos(),
-				"bound-side value converted to %s inside a bound comparison; compare in exact integer/rational arithmetic", dst.Name())
 		}
 		return true
 	})

@@ -11,12 +11,6 @@ func TestBoundCheckFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", "bound", analysis.NewBoundCheck())
 }
 
-func TestBoundCheckFloatFixture(t *testing.T) {
-	// Verify-don't-trust at the lint layer: no float value may flow into a
-	// bound comparison without exact re-verification (solve.Verify).
-	analysistest.Run(t, "testdata", "boundfloat", analysis.NewBoundCheck())
-}
-
 func TestBoundCheckExemptsDefiningPackage(t *testing.T) {
 	// The core stub truncates a bound internally (half); the defining
 	// package is exempt from the arithmetic rules, so the fixture carries

@@ -44,7 +44,10 @@ func NewDeepCopy() *Analyzer {
 		for _, file := range pass.Files {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "deepcopy") {
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, marked := pass.DocDirective(fd.Doc, "deepcopy"); !marked {
 					continue
 				}
 				checkDeepCopy(pass, fd)

@@ -127,10 +127,13 @@ func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
 		return
 	}
-	if hasDirective(pass.Fset, file, rng.Pos(), "unordered") {
+	if mapRangeBodyOrderInsensitive(pass, rng.Body) {
+		// Order-insensitive loops need no directive; checking the body first
+		// means an unordered directive on such a loop stays un-consumed and
+		// is reported as stale instead of silently tolerated.
 		return
 	}
-	if mapRangeBodyOrderInsensitive(pass, rng.Body) {
+	if pass.LineDirective(file, rng.Pos(), "unordered") {
 		return
 	}
 	pass.Reportf(rng.Pos(),

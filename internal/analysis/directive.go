@@ -1,0 +1,82 @@
+// The //accellint: directive surface. Directives are the suite's escape
+// hatch and marker vocabulary: a comment of the form
+//
+//	//accellint:<name> <reason...>
+//
+// either suppresses one finding on its line (unordered, alloc, floatflow,
+// ratalias) or marks a declaration for analysis (deepcopy, noalloc,
+// transcript). Every directive is parsed through ParseDirective — the one
+// place the syntax is defined — and every *consumed* directive is recorded
+// by the driver, so cmd/accellint can report directives that suppress or
+// mark nothing (stale suppressions rot: the code they excused changes and
+// the excuse silently outlives it).
+
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// A Directive is one parsed //accellint: comment.
+type Directive struct {
+	// Name is the directive keyword (e.g. "unordered", "noalloc").
+	Name string
+	// Reason is the free-text justification after the keyword, trimmed.
+	// Marker directives use it for structured arguments too (noalloc's
+	// "guard=TestName ...").
+	Reason string
+}
+
+// knownDirectives is the closed vocabulary. A misspelled directive would
+// otherwise suppress nothing while looking load-bearing, so unknown names
+// are themselves diagnostics (see staleDirectives).
+var knownDirectives = map[string]bool{
+	"unordered":  true, // determinism: map range order provably cannot matter
+	"deepcopy":   true, // deepcopy: function is an export/import hand-off
+	"noalloc":    true, // noalloc: function is an allocation-free hot path
+	"alloc":      true, // noalloc: this one allocation site is sanctioned
+	"floatflow":  true, // floatflow: this float flow is sanctioned
+	"ratalias":   true, // ratalias: this Rat store/mutation is sanctioned
+	"transcript": true, // floatflow: function emits a byte-deterministic transcript
+}
+
+// ParseDirective parses one comment's text (with or without the leading
+// "//") into a Directive. It reports false for comments that are not
+// accellint directives at all. The name is the maximal run of letters
+// after "accellint:"; anything after the first space is the reason.
+// "//accellint:" with no name, or a name broken by punctuation
+// ("accellint:no-alloc"), parses as a directive with the shorter name —
+// the stale/unknown check surfaces the mistake instead of ignoring it.
+func ParseDirective(text string) (Directive, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "accellint:")
+	if !ok {
+		return Directive{}, false
+	}
+	i := 0
+	for i < len(rest) {
+		r := rune(rest[i])
+		if r >= unicode.MaxASCII || !unicode.IsLetter(r) {
+			break
+		}
+		i++
+	}
+	return Directive{
+		Name:   rest[:i],
+		Reason: strings.TrimSpace(rest[i:]),
+	}, true
+}
+
+// DirectiveArg extracts a key=value argument from a directive reason
+// ("guard=TestKernelZeroAllocSteadyState pool growth" → "TestKernel...").
+// Values run to the next space. Missing keys return "".
+func DirectiveArg(reason, key string) string {
+	for _, field := range strings.Fields(reason) {
+		if v, ok := strings.CutPrefix(field, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}

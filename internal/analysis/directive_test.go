@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"accelshare/internal/analysis"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		name   string
+		reason string
+	}{
+		{"//accellint:unordered", true, "unordered", ""},
+		{"//accellint:unordered keys are sorted downstream", true, "unordered", "keys are sorted downstream"},
+		{"// accellint:noalloc guard=TestX", true, "noalloc", "guard=TestX"},
+		{"//accellint:noalloc guard=TestX pool growth", true, "noalloc", "guard=TestX pool growth"},
+		{"//accellint:", true, "", ""},                     // nameless: surfaced by the stale check
+		{"//accellint:no-alloc x", true, "no", "-alloc x"}, // punctuation truncates the name
+		{"//accellint:alloc2 y", true, "alloc", "2 y"},     // digits truncate too
+		{"// plain comment", false, "", ""},
+		{"//go:noinline", false, "", ""},
+		{"//accellint", false, "", ""}, // no colon: not a directive
+	}
+	for _, c := range cases {
+		d, ok := analysis.ParseDirective(c.text)
+		if ok != c.ok || d.Name != c.name || d.Reason != c.reason {
+			t.Errorf("ParseDirective(%q) = {%q %q} %v, want {%q %q} %v",
+				c.text, d.Name, d.Reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+func TestDirectiveArg(t *testing.T) {
+	if got := analysis.DirectiveArg("guard=TestKernelZeroAlloc pool growth", "guard"); got != "TestKernelZeroAlloc" {
+		t.Errorf("guard arg = %q", got)
+	}
+	if got := analysis.DirectiveArg("pool growth", "guard"); got != "" {
+		t.Errorf("missing guard arg = %q, want empty", got)
+	}
+	if got := analysis.DirectiveArg("xguard=No guard=Yes", "guard"); got != "Yes" {
+		t.Errorf("prefixed key matched wrongly: %q", got)
+	}
+}
+
+// FuzzDirectiveParse holds ParseDirective to its structural contract on
+// arbitrary comment text: it never panics, a reported directive's name is
+// ASCII letters only, the reason is trimmed, and parsing is insensitive to
+// the "//" prefix. Wired into the CI fuzz smoke alongside the kernel and
+// solver fuzzers.
+func FuzzDirectiveParse(f *testing.F) {
+	f.Add("//accellint:unordered keys sorted below")
+	f.Add("//accellint:noalloc guard=TestX pool growth")
+	f.Add("//accellint:")
+	f.Add("// accellint:alloc lazy sizing")
+	f.Add("//go:generate stringer")
+	f.Add("//accellint:no-alloc")
+	f.Add("random text")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := analysis.ParseDirective(text)
+		if !ok {
+			if d.Name != "" || d.Reason != "" {
+				t.Fatalf("non-directive %q returned non-zero Directive {%q %q}", text, d.Name, d.Reason)
+			}
+			return
+		}
+		for _, r := range d.Name {
+			if r >= unicode.MaxASCII || !unicode.IsLetter(r) {
+				t.Fatalf("directive name %q from %q contains non-letter %q", d.Name, text, r)
+			}
+		}
+		if d.Reason != strings.TrimSpace(d.Reason) {
+			t.Fatalf("reason %q from %q is not trimmed", d.Reason, text)
+		}
+		// Reparsing without the comment prefix is stable.
+		trimmed := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//"))
+		d2, ok2 := analysis.ParseDirective(trimmed)
+		if !ok2 || d2 != d {
+			t.Fatalf("reparse of %q without // gave {%q %q} %v, want {%q %q}", text, d2.Name, d2.Reason, ok2, d.Name, d.Reason)
+		}
+	})
+}

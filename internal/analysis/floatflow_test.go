@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestFloatFlowFixture(t *testing.T) {
+	// Verify-don't-trust at the lint layer, dataflow edition: no
+	// float-derived value may reach a bound comparison, a bound field or a
+	// transcript emitter without passing through solve.Verify — including
+	// floats laundered through locals, conversions and branch joins that
+	// the old syntactic rule missed. Strict mode additionally proves the
+	// fixture's //accellint:floatflow and transcript directives are live.
+	analysistest.RunStrict(t, "testdata", "floatflow", analysis.NewFloatFlow())
+}
+
+func TestFloatFlowExemptsDefiningPackage(t *testing.T) {
+	// The core stub's internals implement the bounds; floatflow must stay
+	// silent there just like boundcheck does.
+	analysistest.Run(t, "testdata", "core", analysis.NewFloatFlow())
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestNoAllocFixture(t *testing.T) {
+	// Every allocating-construct class the analyzer knows fires inside a
+	// //accellint:noalloc function; the //accellint:alloc cold-start
+	// exception suppresses its line; an annotation without guard= is itself
+	// a finding. Strict mode proves the fixture's directives are all live.
+	analysistest.RunStrict(t, "testdata", "noalloc", analysis.NewNoAlloc())
+}

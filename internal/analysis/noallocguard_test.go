@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"accelshare/internal/analysis"
+)
+
+// TestNoallocGuardsExist cross-validates the static/dynamic pairing that
+// //accellint:noalloc promises: every guard=TestName argument in the tree
+// must name a test function defined in a _test.go file of the same package
+// directory, so the AllocsPerRun guard cannot be renamed or deleted out
+// from under the annotation. (The analyzer enforces that guard= is present;
+// this test enforces that it is true.)
+func TestNoallocGuardsExist(t *testing.T) {
+	root := filepath.Join("..", "..")
+	type site struct{ file, guard string }
+	var sites []site
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || (path != root && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			dir, ok := analysis.ParseDirective(strings.TrimSpace(line))
+			if !ok || dir.Name != "noalloc" {
+				continue
+			}
+			sites = append(sites, site{file: path, guard: analysis.DirectiveArg(dir.Reason, "guard")})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no //accellint:noalloc annotations found in the tree; the walk is broken")
+	}
+
+	for _, s := range sites {
+		if s.guard == "" {
+			t.Errorf("%s: //accellint:noalloc without guard= (accellint reports this too)", s.file)
+			continue
+		}
+		if !guardDefinedIn(t, filepath.Dir(s.file), s.guard) {
+			t.Errorf("%s: guard %s is not defined in any _test.go of %s", s.file, s.guard, filepath.Dir(s.file))
+		}
+	}
+}
+
+func guardDefinedIn(t *testing.T, dir, guard string) bool {
+	t.Helper()
+	re := regexp.MustCompile(`func ` + regexp.QuoteMeta(guard) + `\(t \*testing\.T\)`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Match(src) {
+			return true
+		}
+	}
+	return false
+}

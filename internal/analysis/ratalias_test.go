@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"accelshare/internal/analysis"
+	"accelshare/internal/analysis/analysistest"
+)
+
+func TestRatAliasFixture(t *testing.T) {
+	// Rule A (store-then-mutate, straight-line and loop-carried) and Rule B
+	// (setters retaining a caller-owned Rat) against the math/big package
+	// itself; fresh-allocation idioms and documented hand-offs pass. Strict
+	// mode proves the two //accellint:ratalias suppressions are live.
+	analysistest.RunStrict(t, "testdata", "ratalias", analysis.NewRatAlias())
+}

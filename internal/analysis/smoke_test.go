@@ -7,9 +7,12 @@ import (
 )
 
 // TestSuiteCleanOnRepo is the CI property in test form: the full analyzer
-// suite over every package of this module reports nothing. Any new
-// wall-clock read, unsorted map range, unchecked bound error or shallow
-// export added to the tree fails this test before it can skew a campaign.
+// suite over every package of this module reports nothing — including the
+// directive check, so a suppression whose finding no longer fires, or a
+// misspelled //accellint: name, fails the tree too. Any new wall-clock
+// read, unsorted map range, unchecked bound error, shallow export, float
+// leak into a bound, aliased Rat store or hot-path allocation added to the
+// tree fails this test before it can skew a campaign.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -21,7 +24,7 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
 	}
-	diags, err := analysis.Run(fset, pkgs, analysis.Suite())
+	diags, err := analysis.RunOpts(fset, pkgs, analysis.Suite(), analysis.Options{CheckDirectives: true})
 	if err != nil {
 		t.Fatalf("run suite: %v", err)
 	}

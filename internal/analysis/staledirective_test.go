@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelshare/internal/analysis"
+)
+
+// TestStaleDirectiveFixture pins the CheckDirectives pass against the
+// staledir fixture: the live suppression (consulted by the determinism
+// analyzer at an order-observing map range) is silent, while the dead
+// suppression, the rotted cold-start exception and the misspelled name are
+// each reported exactly once. Diagnostics land on the directive comment's
+// own line, which // want comments cannot annotate, so this test asserts
+// positions directly.
+func TestStaleDirectiveFixture(t *testing.T) {
+	l := analysis.NewLoader()
+	if err := l.AddFixtureRoot(filepath.Join("testdata", "src")); err != nil {
+		t.Fatalf("fixture root: %v", err)
+	}
+	pkg, err := l.Load("staledir")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	// Cover the fixture path so the determinism analyzer consults (and
+	// thereby consumes) the live unordered suppression.
+	coverAll := func(string) bool { return true }
+	diags, err := analysis.RunOpts(l.Fset, []*analysis.Package{pkg},
+		[]*analysis.Analyzer{analysis.NewDeterminism(coverAll), analysis.NewNoAlloc()},
+		analysis.Options{CheckDirectives: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	wantSubstrings := []string{
+		`stale //accellint:unordered directive suppresses or marks nothing`,
+		`stale //accellint:alloc directive suppresses or marks nothing`,
+		`unknown accellint directive "noallocs"`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		for _, d := range diags {
+			t.Logf("got: %s: [%s] %s", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wantSubstrings))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+		if diags[i].Analyzer != "directive" {
+			t.Errorf("diag %d analyzer = %q, want %q", i, diags[i].Analyzer, "directive")
+		}
+	}
+}

@@ -11,5 +11,8 @@ func Suite() []*Analyzer {
 		NewBoundCheck(),
 		NewDeepCopy(),
 		NewPkgDoc(),
+		NewFloatFlow(),
+		NewRatAlias(),
+		NewNoAlloc(),
 	}
 }

@@ -1,0 +1,124 @@
+// Package floatflow exercises the floatflow analyzer against the core and
+// solve stubs: no float-derived value may reach a bound comparison, a bound
+// field or a transcript-marked emitter without exact re-verification. The
+// dataflow version catches what the old syntactic boundcheck rule could not:
+// floats laundered through locals, integer conversions, arithmetic and
+// branch joins. The sanctioned route — solve.Verify on the candidate — and
+// explicit //accellint:floatflow suppressions are the pass cases.
+package floatflow
+
+import (
+	"fmt"
+
+	"core"
+	"solve"
+)
+
+// launderedComparison smuggles the float through an intermediate local and a
+// uint64 conversion; the old syntactic rule saw `candidate <= tau` as
+// integer-only, the taint analysis does not.
+func launderedComparison(s *core.System, estimate float64) (bool, error) {
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	candidate := uint64(estimate)
+	return candidate <= tau, nil // want `float-derived value reaches a bound comparison without exact re-verification`
+}
+
+// helperFlow launders through arithmetic on the float side before rounding.
+func helperFlow(s *core.System, estimate float64) (bool, error) {
+	gamma, err := s.GammaHat(0)
+	if err != nil {
+		return false, err
+	}
+	padded := estimate * 1.0625
+	rounded := int64(padded) + 1
+	return uint64(rounded) > gamma, nil // want `float-derived value reaches a bound comparison without exact re-verification`
+}
+
+// boundOntoFloats hoists the bound onto the float side instead.
+func boundOntoFloats(s *core.System, estimate float64) (bool, error) {
+	gamma, err := s.GammaHat(0)
+	if err != nil {
+		return false, err
+	}
+	return estimate <= float64(gamma), nil // want `float-derived value reaches a bound comparison without exact re-verification`
+}
+
+// joinMerge taints the candidate on only one branch; the conservative merge
+// at the join point keeps the taint alive on the fallthrough path.
+func joinMerge(s *core.System, estimate float64, exact uint64, fast bool) (bool, error) {
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	candidate := exact
+	if fast {
+		candidate = uint64(estimate)
+	}
+	return candidate <= tau, nil // want `float-derived value reaches a bound comparison without exact re-verification`
+}
+
+type ladderStep struct {
+	Name  string
+	Bound uint64
+}
+
+type streamBounds struct {
+	TauHat uint64
+}
+
+// storeBound writes a float-derived value into a recorded bound field.
+func storeBound(estimate float64) ladderStep {
+	var step ladderStep
+	step.Bound = uint64(estimate) // want `float-derived value stored into bound field Bound; recorded bounds must come from exact arithmetic`
+	return step
+}
+
+// literalBounds does the same through composite literals.
+func literalBounds(estimate float64) (ladderStep, streamBounds) {
+	return ladderStep{Bound: uint64(estimate)}, // want `float-derived value stored into bound field Bound; recorded bounds must come from exact arithmetic`
+		streamBounds{TauHat: uint64(estimate)} // want `float-derived value stored into bound field TauHat; recorded bounds must come from exact arithmetic`
+}
+
+// emit is a transcript-marked campaign emitter: the golden gate diffs its
+// bytes, so float-derived arguments are findings; exact integers are not.
+//
+//accellint:transcript golden transcript must stay float-free
+func emit(share float64, cycles uint64) {
+	fmt.Printf("cycles %d\n", cycles)
+	fmt.Printf("share %.3f\n", share) // want `float-derived value written to a byte-deterministic campaign transcript`
+}
+
+// debugPrint is unmarked: diagnostics may print floats freely.
+func debugPrint(share float64) {
+	fmt.Printf("share %.3f\n", share)
+}
+
+// verified is the sanctioned route: the rounded candidate passes through
+// solve.Verify, which sanitizes it, and only then meets the bound.
+func verified(s *core.System, estimate float64) (bool, error) {
+	blocks := []int64{int64(estimate) + 1}
+	v := solve.Verify(s, 8, blocks)
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	return v.Feasible && uint64(blocks[0]) <= tau, nil // exact re-verification upstream: fine
+}
+
+// suppressed documents a sanctioned exception on the finding's line.
+func suppressed(s *core.System, estimate float64) (bool, error) {
+	tau, err := s.TauHat(0)
+	if err != nil {
+		return false, err
+	}
+	//accellint:floatflow estimate is integral by construction in this demo
+	return uint64(estimate) <= tau, nil
+}
+
+// floatMathElsewhere never meets a bound: no finding.
+func floatMathElsewhere(estimate float64) float64 {
+	return float64(int64(estimate * 2))
+}

@@ -1,0 +1,61 @@
+// Package noalloc exercises the noalloc analyzer: functions marked
+// //accellint:noalloc guard=TestName promise a zero-allocation steady
+// state, so every construct that can allocate is a finding unless its line
+// carries an //accellint:alloc cold-start exception. An annotation without
+// a guard= argument is itself a finding — the static promise must be backed
+// by a testing.AllocsPerRun test.
+package noalloc
+
+import "fmt"
+
+type recorder struct {
+	counts map[string]int
+	sink   interface{}
+	free   []int
+}
+
+func consume(v interface{}) { _ = v }
+
+func (r *recorder) helper() {}
+
+// hot trips every allocating-construct class the analyzer knows.
+//
+//accellint:noalloc guard=TestHotPathZeroAlloc
+func (r *recorder) hot(n int, s string) {
+	buf := make([]int, n)         // want `make allocates`
+	p := new(recorder)            // want `new allocates`
+	buf = append(buf, n)          // want `append may grow the backing array`
+	r.counts[s] = n               // want `map write may grow buckets`
+	pair := []int{n, n}           // want `slice/map literal allocates`
+	q := &recorder{}              // want `&composite literal escapes to the heap`
+	fn := func() int { return n } // want `closure allocates`
+	go r.helper()                 // want `go statement allocates a goroutine`
+	label := s + "!"              // want `string concatenation allocates`
+	raw := []byte(s)              // want `string conversion copies its operand`
+	fmt.Println(n)                // want `fmt call allocates`
+	r.sink = n                    // want `interface boxing allocates`
+	consume(n)                    // want `interface boxing allocates`
+	bound := r.helper             // want `method value allocates its receiver binding`
+	_, _, _, _, _, _, _, _ = p, pair, q, fn, label, raw, bound, buf
+}
+
+// coldStart carries the sanctioned lazy-sizing exception on its one
+// allocating line.
+//
+//accellint:noalloc guard=TestColdStartZeroAlloc
+func (r *recorder) coldStart() {
+	if r.free == nil {
+		//accellint:alloc first-touch lazy sizing
+		r.free = make([]int, 8)
+	}
+	r.free = r.free[:0]
+}
+
+// unguarded promises noalloc without naming the AllocsPerRun test that
+// proves it.
+//
+//accellint:noalloc
+func unguarded() {} // want `needs guard=TestName naming its testing.AllocsPerRun test`
+
+// unannotated functions may allocate freely.
+func unannotated() []int { return make([]int, 4) }

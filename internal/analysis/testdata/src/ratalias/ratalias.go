@@ -1,0 +1,105 @@
+// Package ratalias exercises the ratalias analyzer: *big.Rat has pointer
+// semantics and every arithmetic method mutates its receiver in place, so a
+// Rat stored into a container or receiver state and then mutated corrupts
+// the stored copy silently. Rule A covers store-then-mutate (straight-line
+// and loop-carried); Rule B covers setters retaining a caller-owned Rat.
+// The copy idiom new(big.Rat).Set(x) and fresh per-iteration allocation are
+// the pass cases; //accellint:ratalias documents sanctioned sharing.
+package ratalias
+
+import "math/big"
+
+var two = big.NewRat(2, 1)
+
+type table struct {
+	rates []*big.Rat
+	rate  *big.Rat
+	byKey map[string]*big.Rat
+}
+
+// storeThenMutate is the straight-line Rule A shape: the stored field
+// aliases sum, so the Mul rewrites it retroactively.
+func storeThenMutate(t *table, x, y *big.Rat) {
+	sum := new(big.Rat).Add(x, y)
+	t.rate = sum
+	sum.Mul(sum, two) // want `sum is mutated in place after being stored into a container`
+}
+
+// scratchLoop is the loop-carried shape: textually the mutation precedes
+// the store, but the next iteration mutates every previously stored element.
+func scratchLoop(xs []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, 0, len(xs))
+	scratch := new(big.Rat)
+	for _, x := range xs {
+		scratch.Mul(x, x)
+		out = append(out, scratch) // want `scratch is stored and mutated in the same loop`
+	}
+	return out
+}
+
+// freshPerIteration allocates inside the loop: every element is distinct.
+func freshPerIteration(xs []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, 0, len(xs))
+	for _, x := range xs {
+		v := new(big.Rat).Mul(x, x)
+		out = append(out, v)
+	}
+	return out
+}
+
+// freshReset redefines v with fresh memory between the store and the later
+// mutation, so the stored element is never touched again.
+func freshReset(t *table, x *big.Rat) *big.Rat {
+	v := new(big.Rat).Set(x)
+	t.rate = v
+	v = new(big.Rat).Set(x)
+	v.Mul(v, v)
+	return v
+}
+
+// sanctionedMutate documents a deliberate in-place rescale: the field is
+// republished from a fresh copy right after.
+func sanctionedMutate(t *table, x, y *big.Rat) {
+	sum := new(big.Rat).Add(x, y)
+	t.rate = sum
+	//accellint:ratalias rate is republished from a fresh copy below
+	sum.Mul(sum, two)
+	t.rate = new(big.Rat).Set(sum)
+}
+
+// retain is the Rule B shape: the receiver keeps the caller's memory.
+func (t *table) retain(r *big.Rat) {
+	t.rate = r // want `receiver retains a caller-owned`
+}
+
+// retainMap and retainAppend retain through element stores.
+func (t *table) retainMap(k string, r *big.Rat) {
+	t.byKey[k] = r // want `receiver retains a caller-owned`
+}
+
+func (t *table) retainAppend(r *big.Rat) {
+	t.rates = append(t.rates, r) // want `receiver retains a caller-owned`
+}
+
+// retainDerived launders the caller's Rat through a chained method — big.Rat
+// methods return their receiver, so scaled still aliases caller memory.
+func (t *table) retainDerived(r *big.Rat) {
+	scaled := r.Mul(r, two)
+	t.rate = scaled // want `receiver retains a caller-owned`
+}
+
+// retainCopy is the sanctioned idiom: fresh receiver, fresh stored value.
+func (t *table) retainCopy(r *big.Rat) {
+	t.rate = new(big.Rat).Set(r)
+}
+
+// bump mutates a field-held Rat: the owner updating its own state is fine.
+func (t *table) bump(x *big.Rat) {
+	t.rate.Add(t.rate, x)
+}
+
+// sanctionedShare documents a deliberate ownership hand-off.
+func (t *table) sanctionedShare(r *big.Rat) {
+	//accellint:ratalias caller transfers ownership by contract
+	t.rate = r
+}

@@ -1,0 +1,20 @@
+// Package solve stubs the exact re-verification gate of
+// accelshare/internal/solve for floatflow fixtures: the package-path
+// suffix "solve" plus the function name Verify is what the analyzer
+// matches as the sanitizer, so fixtures under a plain "solve" import
+// path bind to the same rule as the real module path.
+package solve
+
+import "core"
+
+// Verification mirrors the real exact-verdict shape.
+type Verification struct {
+	Feasible bool
+}
+
+// Verify stands in for the exact big.Rat re-check: its arguments are
+// sanitized (the candidate was re-verified) and its result is clean by
+// construction.
+func Verify(s *core.System, granularity int64, blocks []int64) Verification {
+	return Verification{Feasible: s != nil && granularity > 0 && len(blocks) > 0}
+}

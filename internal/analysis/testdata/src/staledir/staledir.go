@@ -1,0 +1,40 @@
+// Package staledir exercises the CheckDirectives pass: //accellint:
+// comments that no analyzer consumed are findings themselves — a
+// suppression whose finding no longer fires, a cold-start exception whose
+// allocation rotted away, a misspelled name. The live suppression in
+// firstMatch is the control case: the determinism analyzer consults and
+// consumes it, so only the three dead directives below are reported.
+package staledir
+
+// firstMatch observes map iteration order (early return), so its
+// suppression is consulted and stays live.
+func firstMatch(m map[string]int) (string, bool) {
+	//accellint:unordered any matching key serves as a witness
+	for k := range m {
+		if len(k) > 3 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// tidy carries a suppression with nothing left to suppress.
+func tidy() int {
+	//accellint:unordered nothing here ranges over a map
+	return 1
+}
+
+// constant is a guarded hot path whose cold-start exception rotted away.
+//
+//accellint:noalloc guard=TestConstantZeroAlloc
+func constant() int {
+	//accellint:alloc the make this line once excused is long gone
+	return 2
+}
+
+// typo carries a misspelled directive that suppresses nothing while
+// looking load-bearing.
+func typo() int {
+	//accellint:noallocs misspelled marker
+	return 3
+}

@@ -196,6 +196,8 @@ func (f *FIFO) flushAck() {
 // repoint gate). It returns how many words were posted. Semantically
 // identical to calling TryWrite per word — same counters, same per-word ring
 // messages — but moves a block in one producer step.
+//
+//accellint:noalloc guard=TestCFIFOZeroAllocBursts
 func (f *FIFO) WriteBurst(ws []sim.Word) int {
 	n := 0
 	for _, w := range ws {
@@ -214,6 +216,8 @@ func (f *FIFO) WriteBurst(ws []sim.Word) int {
 // ramp of per-word updates. Word data, buffer counters and the final counter
 // value are identical to per-word TryRead; only the number of ack messages
 // (and the kernel events that carry and retry them) shrinks.
+//
+//accellint:noalloc guard=TestCFIFOZeroAllocBursts
 func (f *FIFO) ReadBurst(dst []sim.Word) int {
 	n := 0
 	for i := range dst {

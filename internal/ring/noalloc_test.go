@@ -1,0 +1,37 @@
+package ring
+
+import (
+	"testing"
+
+	"accelshare/internal/sim"
+)
+
+// TestRingZeroAllocSteadyState backs the //accellint:noalloc annotations on
+// TrySend, pump, pumpStep and newFlight: after the cold start (lazy
+// injection ring, pump method value, flight-pool growth to the in-flight
+// high-water mark), moving words across the ring allocates nothing — the
+// same pooled-record discipline as the sim kernel's event records.
+func TestRingZeroAllocSteadyState(t *testing.T) {
+	k := sim.NewKernel()
+	r, err := New(k, Config{Name: "d", Nodes: 4, InjectionDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	r.Node(2).Bind(7, func(m Message) { got++ })
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			for !r.nodes[0].TrySend(2, 7, sim.Word(i)) {
+				k.Step()
+			}
+		}
+		k.RunAll()
+	}
+	send(64) // cold start: injection ring, pump fn, flight pool
+	if a := testing.AllocsPerRun(200, func() { send(16) }); a != 0 {
+		t.Fatalf("steady-state ring transport allocates %v/op, want 0", a)
+	}
+	if got == 0 {
+		t.Fatal("no deliveries")
+	}
+}

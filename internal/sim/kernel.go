@@ -68,18 +68,24 @@ func NewKernel() *Kernel { return &Kernel{} }
 func (k *Kernel) Now() Time { return k.now }
 
 // Schedule runs fn after delay cycles (delay 0 = later in the same cycle).
+//
+//accellint:noalloc guard=TestKernelZeroAllocSteadyState
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	k.ScheduleAt(k.now+delay, fn)
 }
 
 // ScheduleAt runs fn at absolute time t (panics when t is in the past —
 // that is always a component bug).
+//
+//accellint:noalloc guard=TestKernelZeroAllocSteadyState
 func (k *Kernel) ScheduleAt(t Time, fn func()) {
 	if t < k.now {
 		panic("sim: scheduling into the past")
 	}
 	if k.slots == nil {
+		//accellint:alloc first-schedule lazy sizing of the wheel
 		k.slots = make([]slot, wheelSize)
+		//accellint:alloc first-schedule lazy sizing of the occupancy bitmap
 		k.occupied = make([]uint64, wheelWords)
 	}
 	// Migrate matured overflow events first so that a same-time event already
@@ -101,6 +107,8 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) {
 func (k *Kernel) Pending() bool { return k.live > 0 }
 
 // Step executes the next event; it reports false when the queue is empty.
+//
+//accellint:noalloc guard=TestKernelZeroAllocSteadyState
 func (k *Kernel) Step() bool {
 	e := k.popNext()
 	if e == nil {
@@ -172,16 +180,21 @@ func (k *Kernel) NextEventTime() (Time, bool) { return k.peek() }
 
 // alloc takes an event record from the free list, or allocates one when the
 // pool is empty (cold start / high-water growth only).
+//
+//accellint:noalloc guard=TestKernelZeroAllocPooledBurst
 func (k *Kernel) alloc() *event {
 	if e := k.free; e != nil {
 		k.free = e.next
 		e.next = nil
 		return e
 	}
+	//accellint:alloc pool growth to the live-event high-water mark
 	return &event{}
 }
 
 // recycle clears a fired record and pushes it onto the free list.
+//
+//accellint:noalloc guard=TestKernelZeroAllocPooledBurst
 func (k *Kernel) recycle(e *event) {
 	e.fn = nil
 	e.next = k.free
@@ -277,7 +290,9 @@ func overflowLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+//accellint:noalloc guard=TestKernelZeroAllocOverflow
 func (k *Kernel) pushOverflow(e *event) {
+	//accellint:alloc heap growth to the far-future high-water mark
 	k.overflow = append(k.overflow, e)
 	i := len(k.overflow) - 1
 	for i > 0 {
